@@ -1,0 +1,25 @@
+# One binary per figure of the paper's evaluation (§5), plus a
+# google-benchmark microbenchmark suite for the hot substrate operations.
+# All binaries land directly in ${CMAKE_BINARY_DIR}/bench.
+
+function(s2_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE s2_core)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+s2_bench(fig4_dcn)
+s2_bench(fig5_fattree_scale)
+s2_bench(fig6_workers)
+s2_bench(fig7_partition)
+s2_bench(fig8_sharding)
+s2_bench(fig9_shard_count)
+s2_bench(fig10_dpv)
+
+add_executable(micro_bench ${CMAKE_SOURCE_DIR}/bench/micro_bench.cc)
+target_link_libraries(micro_bench PRIVATE s2_core benchmark::benchmark
+                      benchmark::benchmark_main)
+set_target_properties(micro_bench PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+s2_bench(ablation_prefix_parallel)

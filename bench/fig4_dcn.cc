@@ -1,0 +1,81 @@
+// Figure 4: verifying the (synthesized stand-in for the) real DCN with
+// Batfish, Batfish + prefix sharding, S2 without prefix sharding, and S2.
+//
+// Paper shape to reproduce:
+//   - vanilla Batfish runs out of memory during route computation;
+//   - Batfish + sharding finishes but stays near the memory limit;
+//   - S2 (16 workers) finishes comfortably; without sharding it uses more
+//     memory than with, but sharding costs extra time when memory is
+//     plentiful (Fig 4a discussion).
+#include "bench_util.h"
+#include "topo/dcn.h"
+
+using namespace s2;
+using namespace s2::bench;
+
+namespace {
+
+topo::DcnParams BenchDcn() {
+  // Scaled-down stand-in for the 16K-switch production DCN (DESIGN.md S1):
+  // 3 three-layer + 2 five-layer clusters under a shared core.
+  topo::DcnParams params;
+  params.small_clusters = 3;
+  params.big_clusters = 2;
+  params.tors_per_pod = 6;
+  params.leafs_per_pod = 3;
+  params.pods_per_cluster = 2;
+  params.spines_per_cluster = 3;
+  params.fabrics_per_cluster = 3;
+  params.cores = 6;
+  params.borders = 2;
+  return params;
+}
+
+dp::Query TorQuery(const config::ParsedNetwork& parsed) {
+  dp::Query query;
+  query.header_space.dst = util::MustParsePrefix("10.0.0.0/8");
+  for (topo::NodeId id = 0; id < parsed.graph.size(); ++id) {
+    if (parsed.graph.node(id).name.find("-tor") != std::string::npos) {
+      query.sources.push_back(id);
+      query.destinations.push_back(id);
+    }
+  }
+  return query;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 4: real-DCN stand-in — time and peak memory ===\n");
+  topo::Network network = topo::MakeDcn(BenchDcn());
+  auto parsed = config::ParseNetwork(config::SynthesizeConfigs(network));
+  dp::Query query = TorQuery(parsed);
+  std::printf("DCN: %zu switches, %zu links, %zu TORs, "
+              "per-worker budget %s\n\n",
+              parsed.graph.size(), parsed.graph.edge_count(),
+              query.sources.size(), core::HumanBytes(kWorkerBudget).c_str());
+  PrintHeader("verifier");
+
+  {
+    core::MonoVerifier mono(MonoWithBudget());
+    PrintRow("batfish", mono.Verify(parsed, {query}));
+  }
+  {
+    core::MonoVerifier mono(MonoWithBudget(kShards));
+    PrintRow("batfish+sharding", mono.Verify(parsed, {query}));
+  }
+  {
+    core::S2Verifier verifier(S2Options(16, 0));
+    PrintRow("s2-16w (no sharding)", verifier.Verify(parsed, {query}));
+  }
+  {
+    core::S2Verifier verifier(S2Options(16, kShards));
+    PrintRow("s2-16w", verifier.Verify(parsed, {query}));
+  }
+
+  std::printf(
+      "\nexpected shape: batfish OOM; batfish+sharding finishes near the\n"
+      "budget; S2 finishes well under it; S2 without sharding uses more\n"
+      "memory but (with memory plentiful) less time than sharded S2.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Microbenchmarks (google-benchmark) for the hot substrate operations
+// underneath the figure harnesses: BDD apply/serialize, route
+// serialization, route-map evaluation, best-path selection, the
+// partitioner, and config parsing.
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd_io.h"
+#include "config/parser.h"
+#include "config/vendor.h"
+#include "cp/policy.h"
+#include "cp/rib.h"
+#include "dp/packet.h"
+#include "topo/fattree.h"
+#include "topo/partition.h"
+
+namespace {
+
+using namespace s2;
+
+// ------------------------------------------------------------------ BDD
+
+void BM_BddPrefixMatch(benchmark::State& state) {
+  bdd::Manager manager(32);
+  dp::PacketCodec codec(&manager, dp::HeaderLayout{32, 0, 0});
+  uint32_t i = 0;
+  for (auto _ : state) {
+    auto prefix = util::Ipv4Prefix(
+        util::Ipv4Address((10u << 24) | ((i++ % 4096) << 8)), 24);
+    benchmark::DoNotOptimize(codec.DstIn(prefix));
+  }
+}
+BENCHMARK(BM_BddPrefixMatch);
+
+void BM_BddUnionOfPrefixes(benchmark::State& state) {
+  bdd::Manager manager(32);
+  dp::PacketCodec codec(&manager, dp::HeaderLayout{32, 0, 0});
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    bdd::Bdd acc = manager.Zero();
+    for (int i = 0; i < n; ++i) {
+      acc |= codec.DstIn(util::Ipv4Prefix(
+          util::Ipv4Address((10u << 24) | (uint32_t(i) << 8)), 24));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BddUnionOfPrefixes)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BddSerializeRoundTrip(benchmark::State& state) {
+  bdd::Manager a(32), b(32);
+  dp::PacketCodec codec(&a, dp::HeaderLayout{32, 0, 0});
+  bdd::Bdd f = a.Zero();
+  for (int i = 0; i < 64; ++i) {
+    f |= codec.DstIn(util::Ipv4Prefix(
+        util::Ipv4Address((10u << 24) | (uint32_t(i) << 8)), 24));
+  }
+  for (auto _ : state) {
+    auto bytes = bdd::Serialize(f);
+    benchmark::DoNotOptimize(bdd::DeserializeInto(b, bytes));
+  }
+}
+BENCHMARK(BM_BddSerializeRoundTrip);
+
+// ---------------------------------------------------------------- routes
+
+cp::Route BenchRoute() {
+  cp::Route r;
+  r.prefix = util::MustParsePrefix("10.1.2.0/24");
+  r.as_path = {65001, 65002, 65003, 65004};
+  r.communities = {100, 200, 500};
+  r.learned_from = 3;
+  return r;
+}
+
+void BM_RouteSerializeBatch(benchmark::State& state) {
+  std::vector<cp::RouteUpdate> updates(
+      static_cast<size_t>(state.range(0)),
+      cp::RouteUpdate{BenchRoute().prefix, false, BenchRoute()});
+  for (auto _ : state) {
+    std::vector<uint8_t> bytes;
+    cp::SerializeRoutes(updates, bytes);
+    benchmark::DoNotOptimize(cp::DeserializeRoutes(bytes));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RouteSerializeBatch)->Arg(64)->Arg(1024);
+
+void BM_RouteMapEvaluation(benchmark::State& state) {
+  config::RouteMap map;
+  map.name = "RM";
+  config::RouteMapClause deny;
+  deny.permit = false;
+  deny.match_any_community = {999};
+  config::RouteMapClause tag;
+  tag.permit = true;
+  tag.continue_next = true;
+  tag.match_covered_by = util::MustParsePrefix("10.0.0.0/8");
+  tag.add_communities = {200};
+  config::RouteMapClause all;
+  all.permit = true;
+  map.clauses = {deny, tag, all};
+  cp::Route route = BenchRoute();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cp::ApplyRouteMap(&map, route, 65000));
+  }
+}
+BENCHMARK(BM_RouteMapEvaluation);
+
+void BM_BestPathSelection(benchmark::State& state) {
+  cp::Rib rib(nullptr);
+  const int candidates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int n = 0; n < candidates; ++n) {
+      cp::Route r = BenchRoute();
+      r.learned_from = static_cast<topo::NodeId>(n);
+      r.as_path[0] = 65001 + (n % 3);
+      rib.Upsert(r.learned_from, r);
+    }
+    benchmark::DoNotOptimize(rib.RecomputeDirty(64));
+  }
+  state.SetItemsProcessed(state.iterations() * candidates);
+}
+BENCHMARK(BM_BestPathSelection)->Arg(8)->Arg(64);
+
+// ----------------------------------------------------- parse & partition
+
+void BM_ParseFatTreeConfigs(benchmark::State& state) {
+  topo::FatTreeParams params;
+  params.k = 6;
+  auto configs = config::SynthesizeConfigs(topo::MakeFatTree(params));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config::ParseNetwork(configs));
+  }
+  state.SetItemsProcessed(state.iterations() * configs.size());
+}
+BENCHMARK(BM_ParseFatTreeConfigs);
+
+void BM_MetisLikePartition(benchmark::State& state) {
+  topo::FatTreeParams params;
+  params.k = static_cast<int>(state.range(0));
+  topo::Network net = topo::MakeFatTree(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::Partition(
+        net.graph, 8, topo::PartitionScheme::kMetisLike));
+  }
+}
+BENCHMARK(BM_MetisLikePartition)->Arg(8)->Arg(16);
+
+}  // namespace

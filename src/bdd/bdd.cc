@@ -1,0 +1,377 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace s2::bdd {
+
+namespace {
+// Slot marker for entries on the free list.
+constexpr uint32_t kFreeVar = ~uint32_t{0} - 1;
+}  // namespace
+
+// ---------------------------------------------------------------- handles
+
+Bdd::Bdd(Manager* manager, uint32_t node) : manager_(manager), node_(node) {
+  manager_->Ref(node_);
+}
+
+Bdd::Bdd(const Bdd& other) : manager_(other.manager_), node_(other.node_) {
+  if (manager_) manager_->Ref(node_);
+}
+
+Bdd::Bdd(Bdd&& other) noexcept
+    : manager_(other.manager_), node_(other.node_) {
+  other.manager_ = nullptr;
+  other.node_ = 0;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) {
+  if (this == &other) return *this;
+  if (other.manager_) other.manager_->Ref(other.node_);
+  if (manager_) manager_->Deref(node_);
+  manager_ = other.manager_;
+  node_ = other.node_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  if (manager_) manager_->Deref(node_);
+  manager_ = other.manager_;
+  node_ = other.node_;
+  other.manager_ = nullptr;
+  other.node_ = 0;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (manager_) manager_->Deref(node_);
+}
+
+bool Bdd::IsZero() const { return manager_ && node_ == Manager::kZero; }
+bool Bdd::IsOne() const { return manager_ && node_ == Manager::kOne; }
+
+Bdd Bdd::operator&(const Bdd& rhs) const { return manager_->And(*this, rhs); }
+Bdd Bdd::operator|(const Bdd& rhs) const { return manager_->Or(*this, rhs); }
+Bdd Bdd::operator^(const Bdd& rhs) const { return manager_->Xor(*this, rhs); }
+Bdd Bdd::operator!() const { return manager_->Not(*this); }
+
+Bdd& Bdd::operator&=(const Bdd& rhs) { return *this = *this & rhs; }
+Bdd& Bdd::operator|=(const Bdd& rhs) { return *this = *this | rhs; }
+
+Bdd Bdd::Diff(const Bdd& rhs) const { return *this & !rhs; }
+
+bool Bdd::Intersects(const Bdd& rhs) const {
+  return !(*this & rhs).IsZero();
+}
+
+bool Bdd::Implies(const Bdd& rhs) const { return Diff(rhs).IsZero(); }
+
+// ---------------------------------------------------------------- manager
+
+Manager::Manager(uint32_t num_vars, Options options)
+    : num_vars_(num_vars), options_(options) {
+  // Terminals occupy slots 0 and 1 and are permanently referenced.
+  nodes_.push_back(Node{kTerminalVar, kZero, kZero});
+  nodes_.push_back(Node{kTerminalVar, kOne, kOne});
+  refcounts_.assign(2, 1);
+  peak_nodes_ = 2;
+}
+
+Manager::~Manager() {
+  if (options_.tracker && nodes_.size() > 2) {
+    options_.tracker->Release((nodes_.size() - 2) * kNodeBytes);
+  }
+}
+
+Bdd Manager::Zero() { return Bdd(this, kZero); }
+Bdd Manager::One() { return Bdd(this, kOne); }
+
+Bdd Manager::Var(uint32_t index) {
+  return Bdd(this, MakeNode(index, kZero, kOne));
+}
+
+Bdd Manager::NotVar(uint32_t index) {
+  return Bdd(this, MakeNode(index, kOne, kZero));
+}
+
+void Manager::Ref(uint32_t node) {
+  if (IsTerminal(node)) return;
+  if (refcounts_[node]++ == 0) --dead_count_;
+}
+
+void Manager::Deref(uint32_t node) {
+  if (IsTerminal(node)) return;
+  if (--refcounts_[node] == 0) ++dead_count_;
+}
+
+uint32_t Manager::AllocateSlot() {
+  if (!free_list_.empty()) {
+    uint32_t slot = free_list_.back();
+    free_list_.pop_back();
+    --free_count_;
+    return slot;
+  }
+  if (options_.max_nodes != 0 && nodes_.size() >= options_.max_nodes) {
+    throw util::SimulatedOom("bdd-node-table", kNodeBytes,
+                             options_.max_nodes * kNodeBytes);
+  }
+  if (options_.tracker) options_.tracker->Charge(kNodeBytes);
+  nodes_.push_back(Node{});
+  refcounts_.push_back(0);
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+uint32_t Manager::MakeNode(uint32_t var, uint32_t low, uint32_t high) {
+  if (low == high) return low;
+  UniqueKey key{var, low, high};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  uint32_t slot = AllocateSlot();
+  nodes_[slot] = Node{var, low, high};
+  refcounts_[slot] = 0;
+  ++dead_count_;  // alive once somebody references it
+  Ref(low);
+  Ref(high);
+  unique_.emplace(key, slot);
+  peak_nodes_ = std::max(peak_nodes_, allocated_nodes());
+  return slot;
+}
+
+size_t Manager::live_nodes() const {
+  return allocated_nodes() - dead_count_ - 2;  // exclude the terminals
+}
+
+void Manager::MaybeGc() {
+  size_t allocated = allocated_nodes();
+  if (allocated <= 4096) return;
+  // Two triggers: many dead roots, or the table outgrew its watermark.
+  // The second matters because dead_count_ only sees dereferenced roots —
+  // their interior nodes stay internally referenced until a sweep
+  // cascades, so churn-heavy workloads grow the table without ever
+  // raising the dead fraction.
+  bool dead_heavy = static_cast<double>(dead_count_) >
+                    options_.gc_dead_fraction * static_cast<double>(allocated);
+  if (dead_heavy || allocated >= gc_watermark_) {
+    GarbageCollect();
+    // Next growth-triggered sweep when the table doubles over the live set.
+    gc_watermark_ = std::max<size_t>(2 * 4096, 2 * allocated_nodes());
+  }
+}
+
+void Manager::GarbageCollect() {
+  bin_cache_.clear();
+  ite_cache_.clear();
+  // Sweep with a worklist: freeing a node drops its children's internal
+  // references, which can cascade.
+  std::vector<uint32_t> worklist;
+  for (uint32_t id = 2; id < nodes_.size(); ++id) {
+    if (nodes_[id].var != kFreeVar && refcounts_[id] == 0) {
+      worklist.push_back(id);
+    }
+  }
+  size_t freed = 0;
+  while (!worklist.empty()) {
+    uint32_t id = worklist.back();
+    worklist.pop_back();
+    if (nodes_[id].var == kFreeVar || refcounts_[id] != 0) continue;
+    Node& n = nodes_[id];
+    unique_.erase(UniqueKey{n.var, n.low, n.high});
+    uint32_t low = n.low, high = n.high;
+    n.var = kFreeVar;
+    free_list_.push_back(id);
+    ++free_count_;
+    ++freed;
+    --dead_count_;
+    for (uint32_t child : {low, high}) {
+      if (!IsTerminal(child)) {
+        if (--refcounts_[child] == 0) {
+          ++dead_count_;
+          if (nodes_[child].var != kFreeVar) worklist.push_back(child);
+        }
+      }
+    }
+  }
+  if (options_.tracker && freed > 0) {
+    options_.tracker->Release(freed * kNodeBytes);
+  }
+}
+
+uint32_t Manager::ApplyBin(BinOp op, uint32_t a, uint32_t b) {
+  // Terminal rules.
+  switch (op) {
+    case kAnd:
+      if (a == kZero || b == kZero) return kZero;
+      if (a == kOne) return b;
+      if (b == kOne) return a;
+      if (a == b) return a;
+      break;
+    case kOr:
+      if (a == kOne || b == kOne) return kOne;
+      if (a == kZero) return b;
+      if (b == kZero) return a;
+      if (a == b) return a;
+      break;
+    case kXor:
+      if (a == b) return kZero;
+      if (a == kZero) return b;
+      if (b == kZero) return a;
+      if (a == kOne && b == kOne) return kZero;
+      break;
+    case kRestrict0:
+      break;  // handled in RestrictRec
+  }
+  if (op != kRestrict0 && a > b) std::swap(a, b);  // commutative
+  BinKey key{static_cast<uint8_t>(op), a, b};
+  auto it = bin_cache_.find(key);
+  if (it != bin_cache_.end()) return it->second;
+
+  uint32_t va = VarOf(a), vb = VarOf(b);
+  uint32_t top = std::min(va, vb);
+  uint32_t a0 = (va == top) ? nodes_[a].low : a;
+  uint32_t a1 = (va == top) ? nodes_[a].high : a;
+  uint32_t b0 = (vb == top) ? nodes_[b].low : b;
+  uint32_t b1 = (vb == top) ? nodes_[b].high : b;
+  uint32_t low = ApplyBin(op, a0, b0);
+  uint32_t high = ApplyBin(op, a1, b1);
+  uint32_t result = MakeNode(top, low, high);
+  bin_cache_.emplace(key, result);
+  return result;
+}
+
+Bdd Manager::And(const Bdd& a, const Bdd& b) {
+  MaybeGc();
+  return Bdd(this, ApplyBin(kAnd, a.node_, b.node_));
+}
+
+Bdd Manager::Or(const Bdd& a, const Bdd& b) {
+  MaybeGc();
+  return Bdd(this, ApplyBin(kOr, a.node_, b.node_));
+}
+
+Bdd Manager::Xor(const Bdd& a, const Bdd& b) {
+  MaybeGc();
+  return Bdd(this, ApplyBin(kXor, a.node_, b.node_));
+}
+
+Bdd Manager::Not(const Bdd& a) {
+  MaybeGc();
+  return Bdd(this, ApplyBin(kXor, a.node_, kOne));
+}
+
+uint32_t Manager::IteRec(uint32_t f, uint32_t g, uint32_t h) {
+  if (f == kOne) return g;
+  if (f == kZero) return h;
+  if (g == h) return g;
+  if (g == kOne && h == kZero) return f;
+  if (g == kZero && h == kOne) return ApplyBin(kXor, f, kOne);
+  IteKey key{f, g, h};
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  uint32_t top = std::min({VarOf(f), VarOf(g), VarOf(h)});
+  auto cofactor = [&](uint32_t n, bool hi) {
+    return VarOf(n) == top ? (hi ? nodes_[n].high : nodes_[n].low) : n;
+  };
+  uint32_t low = IteRec(cofactor(f, false), cofactor(g, false),
+                        cofactor(h, false));
+  uint32_t high =
+      IteRec(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  uint32_t result = MakeNode(top, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+Bdd Manager::Ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  MaybeGc();
+  return Bdd(this, IteRec(f.node_, g.node_, h.node_));
+}
+
+uint32_t Manager::RestrictRec(uint32_t f, uint32_t var, bool value) {
+  if (IsTerminal(f) || VarOf(f) > var) return f;
+  if (VarOf(f) == var) return value ? nodes_[f].high : nodes_[f].low;
+  BinKey key{kRestrict0, f, (var << 1) | (value ? 1u : 0u)};
+  auto it = bin_cache_.find(key);
+  if (it != bin_cache_.end()) return it->second;
+  uint32_t low = RestrictRec(nodes_[f].low, var, value);
+  uint32_t high = RestrictRec(nodes_[f].high, var, value);
+  uint32_t result = MakeNode(VarOf(f), low, high);
+  bin_cache_.emplace(key, result);
+  return result;
+}
+
+Bdd Manager::Restrict(const Bdd& f, uint32_t var, bool value) {
+  MaybeGc();
+  return Bdd(this, RestrictRec(f.node_, var, value));
+}
+
+Bdd Manager::Exists(const Bdd& f, const std::vector<uint32_t>& vars) {
+  Bdd result = f;
+  for (uint32_t var : vars) {
+    Bdd lo = Restrict(result, var, false);
+    Bdd hi = Restrict(result, var, true);
+    result = Or(lo, hi);
+  }
+  return result;
+}
+
+Bdd Manager::Cube(uint32_t first_var, uint32_t n, uint64_t value) {
+  uint32_t node = kOne;
+  for (uint32_t i = n; i-- > 0;) {
+    uint32_t var = first_var + i;
+    bool bit = (value >> i) & 1;
+    node = bit ? MakeNode(var, kZero, node) : MakeNode(var, node, kZero);
+  }
+  return Bdd(this, node);
+}
+
+Bdd Manager::MaskedMatch(uint32_t first_var, uint32_t n, uint64_t value,
+                         uint64_t mask) {
+  uint32_t node = kOne;
+  // Build from the LSB (deepest variable) up so children always have
+  // strictly larger variable indices.
+  for (uint32_t p = 0; p < n; ++p) {
+    if (!((mask >> p) & 1)) continue;
+    uint32_t var = first_var + (n - 1 - p);
+    bool bit = (value >> p) & 1;
+    node = bit ? MakeNode(var, kZero, node) : MakeNode(var, node, kZero);
+  }
+  return Bdd(this, node);
+}
+
+double Manager::SatFractionRec(uint32_t f,
+                               std::unordered_map<uint32_t, double>& memo) {
+  if (f == kZero) return 0.0;
+  if (f == kOne) return 1.0;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  double result = 0.5 * (SatFractionRec(nodes_[f].low, memo) +
+                         SatFractionRec(nodes_[f].high, memo));
+  memo.emplace(f, result);
+  return result;
+}
+
+double Manager::SatFraction(const Bdd& f) {
+  std::unordered_map<uint32_t, double> memo;
+  return SatFractionRec(f.node_, memo);
+}
+
+std::vector<std::pair<uint32_t, bool>> Manager::AnySat(const Bdd& f) {
+  std::vector<std::pair<uint32_t, bool>> assignment;
+  if (f.node_ == kZero) std::abort();  // precondition: satisfiable
+  uint32_t node = f.node_;
+  while (!IsTerminal(node)) {
+    const Node& n = nodes_[node];
+    if (n.high != kZero) {
+      assignment.emplace_back(n.var, true);
+      node = n.high;
+    } else {
+      assignment.emplace_back(n.var, false);
+      node = n.low;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace s2::bdd

@@ -1,0 +1,244 @@
+// A reduced ordered binary decision diagram (ROBDD) engine.
+//
+// This is the data-plane verification substrate: symbolic packets and
+// per-port forwarding/ACL predicates are BDDs (paper §4.3). S2's design
+// point is one *independent* Manager per worker — BDD operations on one
+// worker never contend with another worker's, and each worker's node table
+// stays small — so the engine supports multiple coexisting managers and
+// cross-manager transfer via bdd_io.h.
+//
+// Engine design (CUDD-style):
+//  - Nodes live in a slab indexed by 32-bit ids; ids 0/1 are the terminals.
+//  - A unique table canonicalizes (var, low, high) triples, so BDD equality
+//    is id equality.
+//  - External references are RAII `Bdd` handles that ref/deref the root.
+//    Internal references (parent -> child) are counted at node creation.
+//  - Dead nodes (refcount 0) are reclaimed by explicit or threshold-driven
+//    garbage collection, which also clears the operation caches. Between
+//    collections, dead nodes remain structurally valid, so cache hits that
+//    resurrect them are safe.
+//  - The node table has a configurable capacity; exhausting it throws
+//    SimulatedOom, reproducing the paper's "BDD node table overflow"
+//    failure mode (§2.2). Node bytes are charged to an optional
+//    MemoryTracker so per-worker peak memory includes BDD state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/memory_tracker.h"
+
+namespace s2::bdd {
+
+class Manager;
+
+// An owning handle to a BDD root. Copyable (bumps the refcount) and
+// movable. A default-constructed handle is detached and only assignable.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(const Bdd& other);
+  Bdd(Bdd&& other) noexcept;
+  Bdd& operator=(const Bdd& other);
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  bool valid() const { return manager_ != nullptr; }
+  bool IsZero() const;
+  bool IsOne() const;
+
+  Manager* manager() const { return manager_; }
+  uint32_t id() const { return node_; }
+
+  // Canonicity makes structural equality a constant-time id compare.
+  // Handles from different managers never compare equal.
+  friend bool operator==(const Bdd& a, const Bdd& b) {
+    return a.manager_ == b.manager_ && a.node_ == b.node_;
+  }
+
+  // Logical operators; both operands must come from the same manager.
+  Bdd operator&(const Bdd& rhs) const;
+  Bdd operator|(const Bdd& rhs) const;
+  Bdd operator^(const Bdd& rhs) const;
+  Bdd operator!() const;
+  Bdd& operator&=(const Bdd& rhs);
+  Bdd& operator|=(const Bdd& rhs);
+
+  // a - b == a & !b; common enough in predicate construction to name.
+  Bdd Diff(const Bdd& rhs) const;
+
+  // True if the conjunction is nonempty, computed without materializing it
+  // when a cheap answer exists.
+  bool Intersects(const Bdd& rhs) const;
+
+  // True if this implies rhs (this & !rhs == 0).
+  bool Implies(const Bdd& rhs) const;
+
+ private:
+  friend class Manager;
+  friend Bdd DeserializeInto(Manager&, const std::vector<uint8_t>&);
+  Bdd(Manager* manager, uint32_t node);  // takes one reference
+
+  Manager* manager_ = nullptr;
+  uint32_t node_ = 0;
+};
+
+class Manager {
+ public:
+  struct Options {
+    // Hard capacity of the node table; 0 means unbounded. The paper notes
+    // the table is bounded by 2^32 in practice; benchmarks set this low to
+    // surface overflow at laptop scale.
+    size_t max_nodes = 0;
+    // If set, node slab bytes are charged here (32 bytes per node slot:
+    // node record + unique-table and refcount overhead).
+    util::MemoryTracker* tracker = nullptr;
+    // GC triggers when dead nodes exceed this fraction of allocated nodes.
+    double gc_dead_fraction = 0.25;
+  };
+
+  explicit Manager(uint32_t num_vars) : Manager(num_vars, Options{}) {}
+  Manager(uint32_t num_vars, Options options);
+  ~Manager();
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  uint32_t num_vars() const { return num_vars_; }
+
+  Bdd Zero();
+  Bdd One();
+  Bdd Var(uint32_t index);         // the function "bit index is 1"
+  Bdd NotVar(uint32_t index);      // the function "bit index is 0"
+
+  Bdd And(const Bdd& a, const Bdd& b);
+  Bdd Or(const Bdd& a, const Bdd& b);
+  Bdd Xor(const Bdd& a, const Bdd& b);
+  Bdd Not(const Bdd& a);
+  Bdd Ite(const Bdd& f, const Bdd& g, const Bdd& h);
+
+  // Cofactor: f with variable `var` fixed to `value`.
+  Bdd Restrict(const Bdd& f, uint32_t var, bool value);
+
+  // Existential quantification over each variable in `vars`.
+  Bdd Exists(const Bdd& f, const std::vector<uint32_t>& vars);
+
+  // Builds the cube "bits of `value` over vars [first_var, first_var+n)";
+  // bit i of value (LSB first) constrains variable first_var + i.
+  Bdd Cube(uint32_t first_var, uint32_t n, uint64_t value);
+
+  // Builds the predicate "the n-bit field starting at first_var, read MSB
+  // first, matches `value` under `mask`" — the LPM building block.
+  Bdd MaskedMatch(uint32_t first_var, uint32_t n, uint64_t value,
+                  uint64_t mask);
+
+  // Fraction of the 2^num_vars assignments satisfying f, in [0,1].
+  double SatFraction(const Bdd& f);
+
+  // One satisfying assignment, as a vector of (var, value) for the
+  // variables on the chosen path (others are free). f must not be Zero.
+  std::vector<std::pair<uint32_t, bool>> AnySat(const Bdd& f);
+
+  // Diagnostics / accounting.
+  size_t allocated_nodes() const { return nodes_.size() - free_count_; }
+  // Internal (non-terminal) nodes still referenced.
+  size_t live_nodes() const;
+  size_t peak_nodes() const { return peak_nodes_; }
+  void GarbageCollect();
+
+  // Per-node byte estimate used for memory accounting.
+  static constexpr size_t kNodeBytes = 32;
+
+ private:
+  friend class Bdd;
+  friend struct SerializedView;  // bdd_io needs raw node access
+  friend Bdd DeserializeInto(Manager&, const std::vector<uint8_t>&);
+  friend std::vector<uint8_t> Serialize(const Bdd&);
+
+  struct Node {
+    uint32_t var;
+    uint32_t low;
+    uint32_t high;
+  };
+
+  struct UniqueKey {
+    uint32_t var, low, high;
+    bool operator==(const UniqueKey&) const = default;
+  };
+  struct UniqueKeyHash {
+    size_t operator()(const UniqueKey& k) const {
+      uint64_t h = k.var;
+      h = h * 0x9e3779b97f4a7c15ULL + k.low;
+      h = h * 0x9e3779b97f4a7c15ULL + k.high;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  struct BinKey {
+    uint8_t op;
+    uint32_t a, b;
+    bool operator==(const BinKey&) const = default;
+  };
+  struct BinKeyHash {
+    size_t operator()(const BinKey& k) const {
+      uint64_t h = k.op;
+      h = h * 0x9e3779b97f4a7c15ULL + k.a;
+      h = h * 0x9e3779b97f4a7c15ULL + k.b;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  struct IteKey {
+    uint32_t f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    size_t operator()(const IteKey& k) const {
+      uint64_t h = k.f;
+      h = h * 0x9e3779b97f4a7c15ULL + k.g;
+      h = h * 0x9e3779b97f4a7c15ULL + k.h;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  enum BinOp : uint8_t { kAnd = 0, kOr = 1, kXor = 2, kRestrict0 = 3 };
+
+  static constexpr uint32_t kZero = 0;
+  static constexpr uint32_t kOne = 1;
+  static constexpr uint32_t kTerminalVar = ~uint32_t{0};
+
+  uint32_t MakeNode(uint32_t var, uint32_t low, uint32_t high);
+  uint32_t AllocateSlot();
+
+  uint32_t ApplyBin(BinOp op, uint32_t a, uint32_t b);
+  uint32_t IteRec(uint32_t f, uint32_t g, uint32_t h);
+  uint32_t RestrictRec(uint32_t f, uint32_t var, bool value);
+  double SatFractionRec(uint32_t f,
+                        std::unordered_map<uint32_t, double>& memo);
+
+  void Ref(uint32_t node);
+  void Deref(uint32_t node);
+  void MaybeGc();
+
+  uint32_t VarOf(uint32_t node) const { return nodes_[node].var; }
+  bool IsTerminal(uint32_t node) const { return node <= kOne; }
+
+  uint32_t num_vars_;
+  Options options_;
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> refcounts_;
+  std::vector<uint32_t> free_list_;
+  size_t free_count_ = 0;
+  size_t dead_count_ = 0;
+  size_t peak_nodes_ = 0;
+  size_t gc_watermark_ = 2 * 4096;
+
+  std::unordered_map<UniqueKey, uint32_t, UniqueKeyHash> unique_;
+  std::unordered_map<BinKey, uint32_t, BinKeyHash> bin_cache_;
+  std::unordered_map<IteKey, uint32_t, IteKeyHash> ite_cache_;
+};
+
+}  // namespace s2::bdd

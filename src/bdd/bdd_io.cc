@@ -1,0 +1,97 @@
+#include "bdd/bdd_io.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+namespace s2::bdd {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53324244;  // 'S2BD'
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetU32(const std::vector<uint8_t>& in, size_t& pos) {
+  if (pos + 4 > in.size()) std::abort();
+  uint32_t v = uint32_t{in[pos]} | (uint32_t{in[pos + 1]} << 8) |
+               (uint32_t{in[pos + 2]} << 16) | (uint32_t{in[pos + 3]} << 24);
+  pos += 4;
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Serialize(const Bdd& f) {
+  Manager* m = f.manager();
+  // Collect reachable internal nodes children-first (post-order DFS).
+  std::unordered_map<uint32_t, uint32_t> index;  // node id -> wire index
+  std::vector<uint32_t> order;                   // node ids, children first
+  index.emplace(Manager::kZero, 0);
+  index.emplace(Manager::kOne, 1);
+  std::vector<std::pair<uint32_t, bool>> stack;  // (node, children_done)
+  if (f.id() > Manager::kOne) stack.emplace_back(f.id(), false);
+  while (!stack.empty()) {
+    auto [node, children_done] = stack.back();
+    stack.pop_back();
+    if (index.count(node)) continue;
+    const auto& rec = m->nodes_[node];
+    if (children_done) {
+      index.emplace(node, static_cast<uint32_t>(order.size() + 2));
+      order.push_back(node);
+    } else {
+      stack.emplace_back(node, true);
+      if (rec.high > Manager::kOne && !index.count(rec.high)) {
+        stack.emplace_back(rec.high, false);
+      }
+      if (rec.low > Manager::kOne && !index.count(rec.low)) {
+        stack.emplace_back(rec.low, false);
+      }
+    }
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(16 + order.size() * 12);
+  PutU32(out, kMagic);
+  PutU32(out, m->num_vars());
+  PutU32(out, static_cast<uint32_t>(order.size()));
+  PutU32(out, index.at(f.id()));
+  for (uint32_t node : order) {
+    const auto& rec = m->nodes_[node];
+    PutU32(out, rec.var);
+    PutU32(out, index.at(rec.low));
+    PutU32(out, index.at(rec.high));
+  }
+  return out;
+}
+
+Bdd DeserializeInto(Manager& manager, const std::vector<uint8_t>& bytes) {
+  size_t pos = 0;
+  if (GetU32(bytes, pos) != kMagic) std::abort();
+  uint32_t wire_vars = GetU32(bytes, pos);
+  if (wire_vars > manager.num_vars()) std::abort();
+  uint32_t count = GetU32(bytes, pos);
+  uint32_t root = GetU32(bytes, pos);
+
+  std::vector<uint32_t> local(count + 2);
+  local[0] = Manager::kZero;
+  local[1] = Manager::kOne;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t var = GetU32(bytes, pos);
+    uint32_t low = GetU32(bytes, pos);
+    uint32_t high = GetU32(bytes, pos);
+    if (var >= manager.num_vars() || low >= i + 2 || high >= i + 2) {
+      std::abort();
+    }
+    local[i + 2] = manager.MakeNode(var, local[low], local[high]);
+  }
+  if (root >= count + 2) std::abort();
+  return Bdd(&manager, local[root]);
+}
+
+}  // namespace s2::bdd

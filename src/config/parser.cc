@@ -1,0 +1,546 @@
+#include "config/parser.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace s2::config {
+
+namespace {
+
+using util::SplitLines;
+using util::SplitTokens;
+using util::StartsWith;
+
+// Parses "a.b.c.d/len" or "any" into an optional prefix.
+std::optional<util::Ipv4Prefix> ParsePrefixOrAny(const std::string& token) {
+  if (token == "any") return std::nullopt;
+  auto prefix = util::Ipv4Prefix::Parse(token);
+  if (!prefix) std::abort();
+  return prefix;
+}
+
+std::vector<uint32_t> ParseCommunities(const std::vector<std::string>& tokens,
+                                       size_t from, size_t to) {
+  std::vector<uint32_t> out;
+  for (size_t i = from; i < to; ++i) {
+    out.push_back(static_cast<uint32_t>(std::stoul(tokens[i])));
+  }
+  return out;
+}
+
+// --------------------------------------------------------- Alpha parsing
+
+util::Result<ViConfig> ParseAlpha(const std::string& text) {
+  ViConfig config;
+  config.vendor = topo::Vendor::kAlpha;
+
+  enum class Context {
+    kTop,
+    kInterface,
+    kAcl,
+    kRouteMap,
+    kBgp,
+    kOspf,
+  };
+  Context context = Context::kTop;
+  std::string current_interface;
+  std::string current_acl;
+  std::string current_map;
+
+  for (const std::string& raw : SplitLines(text)) {
+    std::string line = util::Trim(raw);
+    if (line.empty() || line == "!") {
+      context = Context::kTop;
+      continue;
+    }
+    std::vector<std::string> t = SplitTokens(line);
+
+    // Block starters terminate the previous block even without a "!"
+    // separator (consecutive route-map clauses emit no separator).
+    bool block_start =
+        t[0] == "hostname" || t[0] == "interface" || t[0] == "route-map" ||
+        t[0] == "router" ||
+        (t[0] == "ip" && t.size() > 1 && t[1] == "access-list");
+    if (block_start) context = Context::kTop;
+
+    if (context == Context::kTop) {
+      if (t[0] == "hostname" && t.size() == 2) {
+        config.hostname = t[1];
+      } else if (t[0] == "interface" && t.size() == 2) {
+        current_interface = t[1];
+        context = Context::kInterface;
+      } else if (t[0] == "ip" && t.size() >= 3 && t[1] == "access-list") {
+        current_acl = t[2];
+        config.acls[current_acl].name = current_acl;
+        context = Context::kAcl;
+      } else if (t[0] == "route-map" && t.size() == 4) {
+        current_map = t[1];
+        RouteMap& map = config.route_maps[current_map];
+        map.name = current_map;
+        RouteMapClause clause;
+        clause.permit = (t[2] == "permit");
+        map.clauses.push_back(clause);
+        context = Context::kRouteMap;
+      } else if (t[0] == "router" && t.size() >= 2 && t[1] == "bgp") {
+        config.bgp.enabled = true;
+        config.bgp.asn = static_cast<uint32_t>(std::stoul(t[2]));
+        context = Context::kBgp;
+      } else if (t[0] == "router" && t.size() >= 2 && t[1] == "ospf") {
+        config.ospf.enabled = true;
+        context = Context::kOspf;
+      } else {
+        return util::Result<ViConfig>::Error("alpha: unknown top line: " +
+                                             line);
+      }
+      continue;
+    }
+
+    switch (context) {
+      case Context::kInterface: {
+        if (t[0] == "ip" && t[1] == "address" && t.size() == 3) {
+          auto prefix = util::Ipv4Prefix::Parse(t[2]);
+          if (!prefix) {
+            return util::Result<ViConfig>::Error("alpha: bad address: " +
+                                                 line);
+          }
+          if (current_interface == "lo0") {
+            config.loopback = *prefix;
+          } else {
+            // /31 p2p: keep the exact interface address, not the subnet.
+            auto addr =
+                util::Ipv4Address::Parse(t[2].substr(0, t[2].find('/')));
+            Interface iface;
+            iface.name = current_interface;
+            iface.address = *addr;
+            iface.prefix_length = prefix->length();
+            config.interfaces.push_back(iface);
+          }
+        } else if (t[0] == "ip" && t[1] == "access-group" && t.size() == 4) {
+          for (Interface& iface : config.interfaces) {
+            if (iface.name == current_interface) {
+              (t[3] == "in" ? iface.acl_in : iface.acl_out) = t[2];
+            }
+          }
+        } else {
+          return util::Result<ViConfig>::Error("alpha: bad interface line: " +
+                                               line);
+        }
+        break;
+      }
+      case Context::kAcl: {
+        if (t.size() == 3 && (t[0] == "permit" || t[0] == "deny")) {
+          AclEntry entry;
+          entry.permit = (t[0] == "permit");
+          entry.src = ParsePrefixOrAny(t[1]);
+          entry.dst = ParsePrefixOrAny(t[2]);
+          config.acls[current_acl].entries.push_back(entry);
+        } else {
+          return util::Result<ViConfig>::Error("alpha: bad acl line: " +
+                                               line);
+        }
+        break;
+      }
+      case Context::kRouteMap: {
+        RouteMapClause& clause = config.route_maps[current_map].clauses.back();
+        if (t[0] == "match" && t[1] == "ip-prefix" && t.size() == 3) {
+          clause.match_covered_by = util::Ipv4Prefix::Parse(t[2]);
+        } else if (t[0] == "match" && t[1] == "community") {
+          clause.match_any_community = ParseCommunities(t, 2, t.size());
+        } else if (t[0] == "set" && t[1] == "local-preference") {
+          clause.set_local_pref = static_cast<uint32_t>(std::stoul(t[2]));
+        } else if (t[0] == "set" && t[1] == "med") {
+          clause.set_med = static_cast<uint32_t>(std::stoul(t[2]));
+        } else if (t[0] == "set" && t[1] == "community") {
+          size_t end = t.size();
+          if (t.back() == "additive") --end;
+          clause.add_communities = ParseCommunities(t, 2, end);
+        } else if (t[0] == "set" && t[1] == "comm-list" &&
+                   t.back() == "delete") {
+          clause.delete_communities = ParseCommunities(t, 2, t.size() - 1);
+        } else if (t[0] == "set" && t[1] == "as-path" && t[2] == "prepend") {
+          clause.as_path_prepend = static_cast<uint32_t>(std::stoul(t[3]));
+        } else if (t[0] == "set" && t[1] == "as-path" && t[2] == "overwrite") {
+          clause.set_as_path_overwrite = true;
+        } else if (t[0] == "continue") {
+          clause.continue_next = true;
+        } else {
+          return util::Result<ViConfig>::Error("alpha: bad route-map line: " +
+                                               line);
+        }
+        break;
+      }
+      case Context::kBgp: {
+        if (t[0] == "maximum-paths") {
+          config.bgp.max_paths = std::stoi(t[1]);
+        } else if (t[0] == "redistribute" && t[1] == "ospf") {
+          config.bgp.redistribute_ospf = true;
+        } else if (t[0] == "network") {
+          config.bgp.networks.push_back(*util::Ipv4Prefix::Parse(t[1]));
+        } else if (t[0] == "aggregate-address") {
+          BgpAggregate agg;
+          agg.prefix = *util::Ipv4Prefix::Parse(t[1]);
+          agg.summary_only = false;
+          size_t i = 2;
+          if (i < t.size() && t[i] == "summary-only") {
+            agg.summary_only = true;
+            ++i;
+          }
+          if (i < t.size() && t[i] == "community") {
+            agg.communities = ParseCommunities(t, i + 1, t.size());
+          }
+          config.bgp.aggregates.push_back(agg);
+        } else if (t[0] == "advertise-conditional" && t.size() == 4) {
+          BgpCondAdv cond;
+          cond.advertise = *util::Ipv4Prefix::Parse(t[1]);
+          cond.advertise_if_present = (t[2] == "exist");
+          cond.watch = *util::Ipv4Prefix::Parse(t[3]);
+          config.bgp.cond_advs.push_back(cond);
+        } else if (t[0] == "neighbor") {
+          auto address = util::Ipv4Address::Parse(t[1]);
+          BgpNeighbor* neighbor = nullptr;
+          for (BgpNeighbor& n : config.bgp.neighbors) {
+            if (n.peer_address == *address) neighbor = &n;
+          }
+          if (!neighbor) {
+            config.bgp.neighbors.emplace_back();
+            neighbor = &config.bgp.neighbors.back();
+            neighbor->peer_address = *address;
+          }
+          if (t[2] == "remote-as") {
+            neighbor->remote_as = static_cast<uint32_t>(std::stoul(t[3]));
+          } else if (t[2] == "update-source") {
+            neighbor->via_interface = t[3];
+          } else if (t[2] == "route-map") {
+            (t[4] == "in" ? neighbor->import_route_map
+                          : neighbor->export_route_map) = t[3];
+          } else if (t[2] == "remove-private-as") {
+            neighbor->remove_private_as = true;
+          } else {
+            return util::Result<ViConfig>::Error("alpha: bad neighbor line: " +
+                                                 line);
+          }
+        } else {
+          return util::Result<ViConfig>::Error("alpha: bad bgp line: " +
+                                               line);
+        }
+        break;
+      }
+      case Context::kOspf:
+        break;  // "network all" — single-area over everything
+      case Context::kTop:
+        break;
+    }
+  }
+  return config;
+}
+
+// ---------------------------------------------------------- Beta parsing
+
+util::Result<ViConfig> ParseBeta(const std::string& text) {
+  ViConfig config;
+  config.vendor = topo::Vendor::kBeta;
+  // Policy terms arrive keyed by (policy, term); remember the term of the
+  // clause currently at the back of each map to know when to start a new
+  // clause. Emission is in ascending term order, so sequential checks
+  // suffice.
+  std::unordered_map<std::string, int> last_term;
+  std::unordered_map<std::string, int> last_acl_term;
+
+  for (const std::string& raw : SplitLines(text)) {
+    std::string line = util::Trim(raw);
+    if (line.empty()) continue;
+    std::vector<std::string> t = SplitTokens(line);
+    if (t[0] != "set") {
+      return util::Result<ViConfig>::Error("beta: expected set: " + line);
+    }
+    if (t[1] == "system" && t[2] == "host-name") {
+      config.hostname = t[3];
+    } else if (t[1] == "interfaces" && t[3] == "address") {
+      auto prefix = util::Ipv4Prefix::Parse(t[4]);
+      if (!prefix) {
+        return util::Result<ViConfig>::Error("beta: bad address: " + line);
+      }
+      if (t[2] == "lo0") {
+        config.loopback = *prefix;
+      } else {
+        auto addr = util::Ipv4Address::Parse(t[4].substr(0, t[4].find('/')));
+        Interface iface;
+        iface.name = t[2];
+        iface.address = *addr;
+        iface.prefix_length = prefix->length();
+        config.interfaces.push_back(iface);
+      }
+    } else if (t[1] == "interfaces" && t[3] == "filter") {
+      for (Interface& iface : config.interfaces) {
+        if (iface.name == t[2]) {
+          (t[4] == "input" ? iface.acl_in : iface.acl_out) = t[5];
+        }
+      }
+    } else if (t[1] == "firewall" && t[2] == "filter") {
+      // set firewall filter NAME term N permit|deny from SRC to DST
+      const std::string& name = t[3];
+      int term = std::stoi(t[5]);
+      Acl& acl = config.acls[name];
+      acl.name = name;
+      if (last_acl_term.find(name) == last_acl_term.end() ||
+          last_acl_term[name] != term) {
+        last_acl_term[name] = term;
+        AclEntry entry;
+        entry.permit = (t[6] == "permit");
+        entry.src = ParsePrefixOrAny(t[8]);
+        entry.dst = ParsePrefixOrAny(t[10]);
+        acl.entries.push_back(entry);
+      }
+    } else if (t[1] == "policy-options" && t[2] == "policy") {
+      const std::string& name = t[3];
+      int term = std::stoi(t[5]);
+      RouteMap& map = config.route_maps[name];
+      map.name = name;
+      if (last_term.find(name) == last_term.end() ||
+          last_term[name] != term) {
+        last_term[name] = term;
+        map.clauses.emplace_back();
+      }
+      RouteMapClause& clause = map.clauses.back();
+      if (t.size() == 7 && (t[6] == "permit" || t[6] == "deny")) {
+        clause.permit = (t[6] == "permit");
+      } else if (t[6] == "from" && t[7] == "prefix") {
+        clause.match_covered_by = util::Ipv4Prefix::Parse(t[8]);
+      } else if (t[6] == "from" && t[7] == "community") {
+        clause.match_any_community.push_back(
+            static_cast<uint32_t>(std::stoul(t[8])));
+      } else if (t[6] == "then" && t[7] == "local-preference") {
+        clause.set_local_pref = static_cast<uint32_t>(std::stoul(t[8]));
+      } else if (t[6] == "then" && t[7] == "med") {
+        clause.set_med = static_cast<uint32_t>(std::stoul(t[8]));
+      } else if (t[6] == "then" && t[7] == "community" && t[8] == "add") {
+        clause.add_communities.push_back(
+            static_cast<uint32_t>(std::stoul(t[9])));
+      } else if (t[6] == "then" && t[7] == "community" &&
+                 t[8] == "delete") {
+        clause.delete_communities.push_back(
+            static_cast<uint32_t>(std::stoul(t[9])));
+      } else if (t[6] == "then" && t[7] == "as-path-prepend") {
+        clause.as_path_prepend = static_cast<uint32_t>(std::stoul(t[8]));
+      } else if (t[6] == "then" && t[7] == "as-path-overwrite") {
+        clause.set_as_path_overwrite = true;
+      } else if (t[6] == "then" && t[7] == "next-term") {
+        clause.continue_next = true;
+      } else {
+        return util::Result<ViConfig>::Error("beta: bad policy line: " +
+                                             line);
+      }
+    } else if (t[1] == "protocols" && t[2] == "ospf") {
+      config.ospf.enabled = true;
+    } else if (t[1] == "protocols" && t[2] == "bgp") {
+      config.bgp.enabled = true;
+      if (t[3] == "local-as") {
+        config.bgp.asn = static_cast<uint32_t>(std::stoul(t[4]));
+      } else if (t[3] == "multipath") {
+        config.bgp.max_paths = std::stoi(t[4]);
+      } else if (t[3] == "redistribute-ospf") {
+        config.bgp.redistribute_ospf = true;
+      } else if (t[3] == "network") {
+        config.bgp.networks.push_back(*util::Ipv4Prefix::Parse(t[4]));
+      } else if (t[3] == "aggregate") {
+        BgpAggregate agg;
+        agg.prefix = *util::Ipv4Prefix::Parse(t[4]);
+        agg.summary_only = false;
+        size_t i = 5;
+        if (i < t.size() && t[i] == "summary-only") {
+          agg.summary_only = true;
+          ++i;
+        }
+        if (i < t.size() && t[i] == "community") {
+          agg.communities = ParseCommunities(t, i + 1, t.size());
+        }
+        config.bgp.aggregates.push_back(agg);
+      } else if (t[3] == "conditional-advertise") {
+        BgpCondAdv cond;
+        cond.advertise = *util::Ipv4Prefix::Parse(t[4]);
+        cond.advertise_if_present = (t[5] == "exist");
+        cond.watch = *util::Ipv4Prefix::Parse(t[6]);
+        config.bgp.cond_advs.push_back(cond);
+      } else if (t[3] == "neighbor") {
+        auto address = util::Ipv4Address::Parse(t[4]);
+        BgpNeighbor* neighbor = nullptr;
+        for (BgpNeighbor& n : config.bgp.neighbors) {
+          if (n.peer_address == *address) neighbor = &n;
+        }
+        if (!neighbor) {
+          config.bgp.neighbors.emplace_back();
+          neighbor = &config.bgp.neighbors.back();
+          neighbor->peer_address = *address;
+        }
+        if (t[5] == "peer-as") {
+          neighbor->remote_as = static_cast<uint32_t>(std::stoul(t[6]));
+        } else if (t[5] == "local-interface") {
+          neighbor->via_interface = t[6];
+        } else if (t[5] == "import") {
+          neighbor->import_route_map = t[6];
+        } else if (t[5] == "export") {
+          neighbor->export_route_map = t[6];
+        } else if (t[5] == "remove-private") {
+          neighbor->remove_private_as = true;
+        } else {
+          return util::Result<ViConfig>::Error("beta: bad neighbor line: " +
+                                               line);
+        }
+      } else {
+        return util::Result<ViConfig>::Error("beta: bad bgp line: " + line);
+      }
+    } else {
+      return util::Result<ViConfig>::Error("beta: unknown line: " + line);
+    }
+  }
+  return config;
+}
+
+// ----------------------------------------------------- name-based roles
+
+// Reconstructs (role, layer, pod) from hostname conventions; returns false
+// if the name matches no known convention.
+bool InferRoleFromName(const std::string& name, topo::NodeInfo& info) {
+  auto starts = [&](const char* prefix) {
+    return StartsWith(name, prefix);
+  };
+  if (starts("edge-") || starts("agg-") || starts("core-")) {
+    // FatTree names: role-p-i.
+    std::vector<std::string> parts = SplitTokens(name, "-");
+    if (starts("edge-")) {
+      info.role = topo::Role::kEdge;
+      info.layer = 0;
+      info.pod = std::stoi(parts[1]);
+    } else if (starts("agg-")) {
+      info.role = topo::Role::kAggregation;
+      info.layer = 1;
+      info.pod = std::stoi(parts[1]);
+    } else {
+      info.role = topo::Role::kCore;
+      info.layer = 2;
+      info.pod = -1;
+    }
+    return true;
+  }
+  if (starts("core")) {
+    info.role = topo::Role::kCore;
+    info.layer = 10;
+    info.pod = -1;
+    return true;
+  }
+  if (starts("border")) {
+    info.role = topo::Role::kBorder;
+    info.layer = 11;
+    info.pod = -1;
+    return true;
+  }
+  if (name.size() > 1 && name[0] == 'c' && std::isdigit(name[1])) {
+    // DCN names: c<cluster>p<pod>-<kind><i> or c<cluster>-<kind><i>.
+    info.pod = std::stoi(name.substr(1));
+    if (name.find("-tor") != std::string::npos) {
+      info.role = topo::Role::kEdge;
+      info.layer = 0;
+    } else if (name.find("-leaf") != std::string::npos) {
+      info.role = topo::Role::kAggregation;
+      info.layer = 1;
+    } else if (name.find("-pspine") != std::string::npos) {
+      info.role = topo::Role::kAggregation;
+      info.layer = 2;
+    } else if (name.find("-fabric") != std::string::npos) {
+      info.role = topo::Role::kAggregation;
+      info.layer = 3;
+    } else if (name.find("-spine") != std::string::npos) {
+      info.role = topo::Role::kCore;
+      info.layer = 4;
+    } else {
+      return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+util::Result<ViConfig> ParseConfig(const std::string& text) {
+  // Dialect sniffing: Beta configs are entirely "set ..." lines.
+  for (const std::string& line : SplitLines(text)) {
+    std::string trimmed = util::Trim(line);
+    if (trimmed.empty()) continue;
+    return StartsWith(trimmed, "set ") ? ParseBeta(text) : ParseAlpha(text);
+  }
+  return util::Result<ViConfig>::Error("empty configuration");
+}
+
+topo::NodeId ParsedNetwork::FindByAddress(util::Ipv4Address address) const {
+  auto it = address_book.find(address.bits());
+  return it == address_book.end() ? topo::kInvalidNode : it->second.first;
+}
+
+ParsedNetwork ParseNetwork(const std::vector<std::string>& texts) {
+  ParsedNetwork net;
+  net.configs.reserve(texts.size());
+  for (const std::string& text : texts) {
+    auto parsed = ParseConfig(text);
+    if (!parsed.ok()) std::abort();
+    net.configs.push_back(std::move(parsed).value());
+  }
+  ReindexParsedNetwork(net);
+  return net;
+}
+
+void ReindexParsedNetwork(ParsedNetwork& net) {
+  net.graph = topo::Graph();
+  net.address_book.clear();
+
+  // Nodes + address book.
+  for (topo::NodeId id = 0; id < net.configs.size(); ++id) {
+    const ViConfig& config = net.configs[id];
+    topo::NodeInfo info;
+    info.name = config.hostname;
+    InferRoleFromName(config.hostname, info);
+    net.graph.AddNode(info);
+    for (const Interface& iface : config.interfaces) {
+      net.address_book[iface.address.bits()] = {id, iface.name};
+    }
+  }
+
+  // L3 adjacency: both ends of each /31 present -> edge. Deduplicate by
+  // visiting only the even (lower) address of each pair.
+  for (topo::NodeId id = 0; id < net.configs.size(); ++id) {
+    for (const Interface& iface : net.configs[id].interfaces) {
+      if (iface.prefix_length != 31 || (iface.address.bits() & 1) != 0) {
+        continue;
+      }
+      auto other = net.address_book.find(iface.address.bits() | 1);
+      if (other != net.address_book.end()) {
+        net.graph.AddEdge(id, other->second.first);
+      }
+    }
+  }
+
+  // Load estimation (§4.1): FatTree gets the k^3 role estimates, other
+  // networks uniform loads.
+  int max_pod = -1;
+  bool fattree = !net.configs.empty();
+  for (topo::NodeId id = 0; id < net.graph.size(); ++id) {
+    const std::string& name = net.graph.node(id).name;
+    if (!(StartsWith(name, "edge-") || StartsWith(name, "agg-") ||
+          StartsWith(name, "core-"))) {
+      fattree = false;
+      break;
+    }
+    max_pod = std::max(max_pod, net.graph.node(id).pod);
+  }
+  if (fattree && max_pod >= 0) {
+    double k = max_pod + 1;
+    for (topo::NodeId id = 0; id < net.graph.size(); ++id) {
+      topo::NodeInfo& info = net.graph.node(id);
+      info.load = info.role == topo::Role::kEdge ? k * k * k / 4.0
+                                                 : k * k * k / 2.0;
+    }
+  }
+}
+
+}  // namespace s2::config

@@ -1,0 +1,49 @@
+// Configuration parsers: vendor config text -> vendor-independent model,
+// plus layer-3 topology inference (paper §3.2/§3.3: the controller's
+// parser stage). Dialect is auto-detected (Alpha block syntax vs Beta
+// "set" syntax).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "config/vi_model.h"
+#include "topo/graph.h"
+#include "util/status.h"
+
+namespace s2::config {
+
+// Parses one device's configuration. Returns an error for malformed text.
+util::Result<ViConfig> ParseConfig(const std::string& text);
+
+// A parsed network: one VI config per device (device id = index), the
+// inferred L3 adjacency graph, and the address book used to resolve BGP
+// neighbor addresses to devices.
+struct ParsedNetwork {
+  std::vector<ViConfig> configs;
+  topo::Graph graph;
+  // interface address bits -> (device, interface name)
+  std::unordered_map<uint32_t, std::pair<topo::NodeId, std::string>>
+      address_book;
+
+  // Device owning `address`, or kInvalidNode.
+  topo::NodeId FindByAddress(util::Ipv4Address address) const;
+};
+
+// Parses every config and infers the topology: two interfaces on the same
+// /31 subnet are adjacent (Batfish-style L3 adjacency inference). Also
+// reconstructs partitioning metadata (role/layer/pod and the §4.1 load
+// estimates) from hostname conventions — the paper's "expert" knowledge
+// that names encode placement. Aborts on parse errors (inputs come from
+// SynthesizeConfigs or trusted files; callers wanting diagnostics parse
+// files individually first).
+ParsedNetwork ParseNetwork(const std::vector<std::string>& texts);
+
+// Rebuilds `network`'s derived state (graph, address book, load
+// estimates) from its configs — call after mutating the VI models (e.g.
+// what-if edits in core/whatif.h).
+void ReindexParsedNetwork(ParsedNetwork& network);
+
+}  // namespace s2::config

@@ -1,0 +1,404 @@
+#include "config/vendor.h"
+
+#include <set>
+#include <sstream>
+
+namespace s2::config {
+
+namespace {
+
+std::string CommunityList(const std::vector<uint32_t>& communities) {
+  std::string out;
+  for (size_t i = 0; i < communities.size(); ++i) {
+    if (i) out += " ";
+    out += std::to_string(communities[i]);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ Alpha emit
+
+void EmitAlphaAcl(std::ostringstream& os, const Acl& acl) {
+  os << "ip access-list " << acl.name << "\n";
+  for (const AclEntry& entry : acl.entries) {
+    os << " " << (entry.permit ? "permit" : "deny") << " "
+       << (entry.src ? entry.src->ToString() : std::string("any")) << " "
+       << (entry.dst ? entry.dst->ToString() : std::string("any")) << "\n";
+  }
+  os << "!\n";
+}
+
+void EmitAlphaRouteMap(std::ostringstream& os, const RouteMap& map) {
+  int seq = 10;
+  for (const RouteMapClause& clause : map.clauses) {
+    os << "route-map " << map.name << " "
+       << (clause.permit ? "permit" : "deny") << " " << seq << "\n";
+    if (clause.match_covered_by) {
+      os << " match ip-prefix " << clause.match_covered_by->ToString()
+         << "\n";
+    }
+    if (!clause.match_any_community.empty()) {
+      os << " match community " << CommunityList(clause.match_any_community)
+         << "\n";
+    }
+    if (clause.set_local_pref) {
+      os << " set local-preference " << *clause.set_local_pref << "\n";
+    }
+    if (clause.set_med) os << " set med " << *clause.set_med << "\n";
+    if (!clause.add_communities.empty()) {
+      os << " set community " << CommunityList(clause.add_communities)
+         << " additive\n";
+    }
+    if (!clause.delete_communities.empty()) {
+      os << " set comm-list " << CommunityList(clause.delete_communities)
+         << " delete\n";
+    }
+    if (clause.as_path_prepend > 0) {
+      os << " set as-path prepend " << clause.as_path_prepend << "\n";
+    }
+    if (clause.set_as_path_overwrite) os << " set as-path overwrite\n";
+    if (clause.continue_next) os << " continue\n";
+    seq += 10;
+  }
+  os << "!\n";
+}
+
+std::string EmitAlpha(const ViConfig& config) {
+  std::ostringstream os;
+  os << "hostname " << config.hostname << "\n!\n";
+  os << "interface lo0\n ip address " << config.loopback.ToString()
+     << "\n!\n";
+  for (const Interface& iface : config.interfaces) {
+    os << "interface " << iface.name << "\n ip address "
+       << iface.address.ToString() << "/" << int(iface.prefix_length)
+       << "\n";
+    if (!iface.acl_in.empty()) {
+      os << " ip access-group " << iface.acl_in << " in\n";
+    }
+    if (!iface.acl_out.empty()) {
+      os << " ip access-group " << iface.acl_out << " out\n";
+    }
+    os << "!\n";
+  }
+  // Deterministic order: ACLs/route-maps in neighbor order were inserted
+  // into hash maps; re-emit in interface order for stability, each object
+  // once even when several references share it.
+  std::set<std::string> emitted;
+  for (const Interface& iface : config.interfaces) {
+    for (const std::string& name : {iface.acl_in, iface.acl_out}) {
+      if (const Acl* acl = config.FindAcl(name)) {
+        if (emitted.insert(name).second) EmitAlphaAcl(os, *acl);
+      }
+    }
+  }
+  for (const BgpNeighbor& neighbor : config.bgp.neighbors) {
+    for (const std::string& name :
+         {neighbor.import_route_map, neighbor.export_route_map}) {
+      if (const RouteMap* map = config.FindRouteMap(name)) {
+        if (emitted.insert(name).second) EmitAlphaRouteMap(os, *map);
+      }
+    }
+  }
+  if (config.ospf.enabled) {
+    os << "router ospf\n network all\n!\n";
+  }
+  if (config.bgp.enabled) {
+    os << "router bgp " << config.bgp.asn << "\n";
+    os << " maximum-paths " << config.bgp.max_paths << "\n";
+    if (config.bgp.redistribute_ospf) os << " redistribute ospf\n";
+    for (const auto& network : config.bgp.networks) {
+      os << " network " << network.ToString() << "\n";
+    }
+    for (const BgpAggregate& agg : config.bgp.aggregates) {
+      os << " aggregate-address " << agg.prefix.ToString();
+      if (agg.summary_only) os << " summary-only";
+      if (!agg.communities.empty()) {
+        os << " community " << CommunityList(agg.communities);
+      }
+      os << "\n";
+    }
+    for (const BgpCondAdv& cond : config.bgp.cond_advs) {
+      os << " advertise-conditional " << cond.advertise.ToString() << " "
+         << (cond.advertise_if_present ? "exist" : "non-exist") << " "
+         << cond.watch.ToString() << "\n";
+    }
+    for (const BgpNeighbor& neighbor : config.bgp.neighbors) {
+      std::string peer = neighbor.peer_address.ToString();
+      os << " neighbor " << peer << " remote-as " << neighbor.remote_as
+         << "\n";
+      os << " neighbor " << peer << " update-source "
+         << neighbor.via_interface << "\n";
+      if (!neighbor.import_route_map.empty()) {
+        os << " neighbor " << peer << " route-map "
+           << neighbor.import_route_map << " in\n";
+      }
+      if (!neighbor.export_route_map.empty()) {
+        os << " neighbor " << peer << " route-map "
+           << neighbor.export_route_map << " out\n";
+      }
+      if (neighbor.remove_private_as) {
+        os << " neighbor " << peer << " remove-private-as\n";
+      }
+    }
+    os << "!\n";
+  }
+  return os.str();
+}
+
+// ------------------------------------------------------------- Beta emit
+
+void EmitBetaRouteMap(std::ostringstream& os, const RouteMap& map) {
+  int seq = 10;
+  for (const RouteMapClause& clause : map.clauses) {
+    std::string head = "set policy-options policy " + map.name + " term " +
+                       std::to_string(seq) + " ";
+    os << head << (clause.permit ? "permit" : "deny") << "\n";
+    if (clause.match_covered_by) {
+      os << head << "from prefix " << clause.match_covered_by->ToString()
+         << "\n";
+    }
+    for (uint32_t community : clause.match_any_community) {
+      os << head << "from community " << community << "\n";
+    }
+    if (clause.set_local_pref) {
+      os << head << "then local-preference " << *clause.set_local_pref
+         << "\n";
+    }
+    if (clause.set_med) os << head << "then med " << *clause.set_med << "\n";
+    for (uint32_t community : clause.add_communities) {
+      os << head << "then community add " << community << "\n";
+    }
+    for (uint32_t community : clause.delete_communities) {
+      os << head << "then community delete " << community << "\n";
+    }
+    if (clause.as_path_prepend > 0) {
+      os << head << "then as-path-prepend " << clause.as_path_prepend
+         << "\n";
+    }
+    if (clause.set_as_path_overwrite) os << head << "then as-path-overwrite\n";
+    if (clause.continue_next) os << head << "then next-term\n";
+    seq += 10;
+  }
+}
+
+std::string EmitBeta(const ViConfig& config) {
+  std::ostringstream os;
+  os << "set system host-name " << config.hostname << "\n";
+  os << "set interfaces lo0 address " << config.loopback.ToString() << "\n";
+  for (const Interface& iface : config.interfaces) {
+    os << "set interfaces " << iface.name << " address "
+       << iface.address.ToString() << "/" << int(iface.prefix_length)
+       << "\n";
+    if (!iface.acl_in.empty()) {
+      os << "set interfaces " << iface.name << " filter input "
+         << iface.acl_in << "\n";
+    }
+    if (!iface.acl_out.empty()) {
+      os << "set interfaces " << iface.name << " filter output "
+         << iface.acl_out << "\n";
+    }
+  }
+  std::set<std::string> emitted;
+  for (const Interface& iface : config.interfaces) {
+    for (const std::string& name : {iface.acl_in, iface.acl_out}) {
+      const Acl* acl = config.FindAcl(name);
+      if (!acl || !emitted.insert(name).second) continue;
+      int term = 10;
+      for (const AclEntry& entry : acl->entries) {
+        os << "set firewall filter " << acl->name << " term " << term << " "
+           << (entry.permit ? "permit" : "deny") << " from "
+           << (entry.src ? entry.src->ToString() : std::string("any"))
+           << " to "
+           << (entry.dst ? entry.dst->ToString() : std::string("any"))
+           << "\n";
+        term += 10;
+      }
+    }
+  }
+  for (const BgpNeighbor& neighbor : config.bgp.neighbors) {
+    for (const std::string& name :
+         {neighbor.import_route_map, neighbor.export_route_map}) {
+      if (const RouteMap* map = config.FindRouteMap(name)) {
+        if (emitted.insert(name).second) EmitBetaRouteMap(os, *map);
+      }
+    }
+  }
+  if (config.ospf.enabled) os << "set protocols ospf enable\n";
+  if (config.bgp.enabled) {
+    os << "set protocols bgp local-as " << config.bgp.asn << "\n";
+    os << "set protocols bgp multipath " << config.bgp.max_paths << "\n";
+    if (config.bgp.redistribute_ospf) {
+      os << "set protocols bgp redistribute-ospf\n";
+    }
+    for (const auto& network : config.bgp.networks) {
+      os << "set protocols bgp network " << network.ToString() << "\n";
+    }
+    for (const BgpAggregate& agg : config.bgp.aggregates) {
+      os << "set protocols bgp aggregate " << agg.prefix.ToString();
+      if (agg.summary_only) os << " summary-only";
+      if (!agg.communities.empty()) {
+        os << " community " << CommunityList(agg.communities);
+      }
+      os << "\n";
+    }
+    for (const BgpCondAdv& cond : config.bgp.cond_advs) {
+      os << "set protocols bgp conditional-advertise "
+         << cond.advertise.ToString() << " "
+         << (cond.advertise_if_present ? "exist" : "non-exist") << " "
+         << cond.watch.ToString() << "\n";
+    }
+    for (const BgpNeighbor& neighbor : config.bgp.neighbors) {
+      std::string head =
+          "set protocols bgp neighbor " + neighbor.peer_address.ToString() +
+          " ";
+      os << head << "peer-as " << neighbor.remote_as << "\n";
+      os << head << "local-interface " << neighbor.via_interface << "\n";
+      if (!neighbor.import_route_map.empty()) {
+        os << head << "import " << neighbor.import_route_map << "\n";
+      }
+      if (!neighbor.export_route_map.empty()) {
+        os << head << "export " << neighbor.export_route_map << "\n";
+      }
+      if (neighbor.remove_private_as) os << head << "remove-private\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- compile
+
+ViConfig CompileIntent(const topo::Network& network, topo::NodeId id) {
+  const topo::NodeIntent& intent = network.intents[id];
+  const topo::NodeInfo& info = network.graph.node(id);
+  ViConfig config;
+  config.hostname = info.name;
+  config.vendor = intent.vendor;
+  config.loopback = intent.loopback;
+
+  config.bgp.enabled = true;
+  config.bgp.asn = intent.asn;
+  config.bgp.max_paths = intent.max_ecmp_paths;
+  config.bgp.networks = intent.announced;
+  config.bgp.redistribute_ospf = intent.redistribute_ospf_into_bgp;
+  config.ospf.enabled = intent.enable_ospf;
+  for (const topo::AggregateIntent& agg : intent.aggregates) {
+    config.bgp.aggregates.push_back(
+        BgpAggregate{agg.prefix, agg.summary_only, agg.communities});
+  }
+  for (const topo::CondAdvIntent& cond : intent.cond_advs) {
+    config.bgp.cond_advs.push_back(
+        BgpCondAdv{cond.advertise, cond.watch, cond.advertise_if_present});
+  }
+
+  for (const topo::InterfaceIntent& iface : intent.interfaces) {
+    Interface vi_iface;
+    vi_iface.name = iface.name;
+    vi_iface.address = iface.address;
+    vi_iface.prefix_length = iface.prefix_length;
+
+    // ACLs.
+    auto compile_acl = [&](const std::vector<topo::AclRuleIntent>& rules,
+                           const std::string& name) -> std::string {
+      if (rules.empty()) return "";
+      Acl acl;
+      acl.name = name;
+      for (const topo::AclRuleIntent& rule : rules) {
+        acl.entries.push_back(AclEntry{rule.permit, rule.src, rule.dst});
+      }
+      acl.entries.push_back(AclEntry{true, std::nullopt, std::nullopt});
+      config.acls.emplace(acl.name, acl);
+      return name;
+    };
+    vi_iface.acl_in = compile_acl(iface.acl_in, "ACLI_" + iface.name);
+    vi_iface.acl_out = compile_acl(iface.acl_out, "ACLO_" + iface.name);
+    config.interfaces.push_back(vi_iface);
+
+    // BGP neighbor over this interface. /31 point-to-point: the peer holds
+    // the other address of the pair.
+    BgpNeighbor neighbor;
+    neighbor.peer_address = util::Ipv4Address(iface.address.bits() ^ 1u);
+    neighbor.remote_as = network.intents[iface.peer].asn;
+    neighbor.via_interface = iface.name;
+    neighbor.remove_private_as = intent.remove_private_as;
+
+    // Import policy: local-pref and ingress tags.
+    if (iface.import_local_pref != 100 ||
+        !iface.import_tag_communities.empty()) {
+      RouteMap map;
+      map.name = "IMP_" + iface.name;
+      RouteMapClause clause;
+      clause.permit = true;
+      if (iface.import_local_pref != 100) {
+        clause.set_local_pref = iface.import_local_pref;
+      }
+      clause.add_communities = iface.import_tag_communities;
+      map.clauses.push_back(clause);
+      config.route_maps.emplace(map.name, map);
+      neighbor.import_route_map = map.name;
+    }
+
+    // Export policy: denies, permit-only filter, tag-and-continue clauses,
+    // then a final permit (with downward AS_PATH overwrite).
+    const topo::PeerPolicyIntent& policy = iface.export_policy;
+    bool overwrite_down =
+        intent.overwrite_as_path &&
+        network.graph.node(iface.peer).layer < info.layer;
+    if (!policy.deny_export_communities.empty() ||
+        !policy.permit_only_communities.empty() ||
+        !policy.tag_matching.empty() || policy.as_path_prepend > 0 ||
+        overwrite_down) {
+      RouteMap map;
+      map.name = "EXP_" + iface.name;
+      if (!policy.deny_export_communities.empty()) {
+        RouteMapClause deny;
+        deny.permit = false;
+        deny.match_any_community = policy.deny_export_communities;
+        map.clauses.push_back(deny);
+      }
+      if (!policy.permit_only_communities.empty()) {
+        RouteMapClause only;
+        only.permit = true;
+        only.match_any_community = policy.permit_only_communities;
+        only.set_as_path_overwrite = overwrite_down;
+        map.clauses.push_back(only);
+        // No final permit: everything else hits the implicit deny.
+      } else {
+        for (const auto& [prefix, community] : policy.tag_matching) {
+          RouteMapClause tag;
+          tag.permit = true;
+          tag.continue_next = true;
+          tag.match_covered_by = prefix;
+          tag.add_communities = {community};
+          map.clauses.push_back(tag);
+        }
+        RouteMapClause all;
+        all.permit = true;
+        all.set_as_path_overwrite = overwrite_down;
+        all.as_path_prepend = policy.as_path_prepend;
+        map.clauses.push_back(all);
+      }
+      config.route_maps.emplace(map.name, map);
+      neighbor.export_route_map = map.name;
+    }
+    config.bgp.neighbors.push_back(std::move(neighbor));
+  }
+  return config;
+}
+
+std::string EmitConfig(const ViConfig& config) {
+  return config.vendor == topo::Vendor::kAlpha ? EmitAlpha(config)
+                                               : EmitBeta(config);
+}
+
+std::vector<std::string> SynthesizeConfigs(const topo::Network& network) {
+  std::vector<std::string> configs;
+  configs.reserve(network.graph.size());
+  for (topo::NodeId id = 0; id < network.graph.size(); ++id) {
+    configs.push_back(EmitConfig(CompileIntent(network, id)));
+  }
+  return configs;
+}
+
+}  // namespace s2::config

@@ -1,0 +1,38 @@
+// Vendor-specific configuration synthesis.
+//
+// The paper's input is a directory of vendor config files; its parser
+// (Batfish's) turns them into vendor-independent models. We reproduce that
+// pipeline: generators produce intents (topo/), CompileIntent turns an
+// intent into the VI model, and EmitConfig renders the VI model in one of
+// two pseudo-vendor dialects:
+//
+//   Vendor Alpha — IOS-flavoured block syntax ("router bgp", route-maps).
+//   Vendor Beta  — flat "set ..." syntax (JunOS set-mode flavoured).
+//
+// The dialects also differ in one *behaviour*: remove-private-as on Alpha
+// strips every private ASN from the AS_PATH, on Beta only the private ASNs
+// preceding the first public one — the paper's §2.1 VSB example. The
+// control plane honours the difference (cp/bgp.cc).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/vi_model.h"
+#include "topo/graph.h"
+
+namespace s2::config {
+
+// Compiles a node's intent into the vendor-independent model: composes the
+// per-neighbor import/export route-maps (valley guards, cluster filters,
+// class tagging, AS_PATH overwrite direction), ACLs and the BGP process.
+// Exposed so tests can check Parse(Emit(vi)) == vi.
+ViConfig CompileIntent(const topo::Network& network, topo::NodeId id);
+
+// Renders `config` as configuration text in its vendor's dialect.
+std::string EmitConfig(const ViConfig& config);
+
+// Full pipeline for a synthesized network: one config file per device.
+std::vector<std::string> SynthesizeConfigs(const topo::Network& network);
+
+}  // namespace s2::config

@@ -1,0 +1,26 @@
+#include "config/vi_model.h"
+
+namespace s2::config {
+
+const Interface* ViConfig::FindInterface(const std::string& name) const {
+  for (const Interface& iface : interfaces) {
+    if (iface.name == name) return &iface;
+  }
+  return nullptr;
+}
+
+const RouteMap* ViConfig::FindRouteMap(const std::string& name) const {
+  auto it = route_maps.find(name);
+  return it == route_maps.end() ? nullptr : &it->second;
+}
+
+const Acl* ViConfig::FindAcl(const std::string& name) const {
+  auto it = acls.find(name);
+  return it == acls.end() ? nullptr : &it->second;
+}
+
+util::Ipv4Prefix ViConfig::ConnectedPrefix(const Interface& iface) {
+  return util::Ipv4Prefix(iface.address, iface.prefix_length);
+}
+
+}  // namespace s2::config

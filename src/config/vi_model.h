@@ -1,0 +1,158 @@
+// Vendor-independent (VI) configuration model — the output of the config
+// parsers and the input to the control-plane switch model, mirroring
+// Batfish's vendor-independent representation (paper §3.2, "the parser
+// converts vendor-specific configuration files into vendor-independent
+// models").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/graph.h"  // for topo::Vendor
+#include "util/ip.h"
+
+namespace s2::config {
+
+// ---------------------------------------------------------------- policy
+
+// One route-map clause. Matches are conjunctive; an empty match section
+// matches every route. On a match: a permit clause applies its set actions
+// and accepts (or falls through when continue_next is set, accumulating the
+// set actions); a deny clause rejects. A route matching no clause is
+// rejected (the Cisco implicit deny).
+struct RouteMapClause {
+  bool permit = true;
+  bool continue_next = false;
+
+  // Match route prefix covered by this prefix (any more-specific length).
+  std::optional<util::Ipv4Prefix> match_covered_by;
+  // Match routes carrying ANY of these communities.
+  std::vector<uint32_t> match_any_community;
+
+  std::optional<uint32_t> set_local_pref;
+  std::optional<uint32_t> set_med;
+  std::vector<uint32_t> add_communities;
+  std::vector<uint32_t> delete_communities;
+  // Prepend the device's own ASN this many extra times (traffic
+  // engineering: artificially lengthen the path).
+  uint32_t as_path_prepend = 0;
+  // Replace the AS_PATH with [own ASN] (the §2.3 overwrite policy).
+  bool set_as_path_overwrite = false;
+
+  bool operator==(const RouteMapClause&) const = default;
+};
+
+struct RouteMap {
+  std::string name;
+  std::vector<RouteMapClause> clauses;
+
+  bool operator==(const RouteMap&) const = default;
+};
+
+// ------------------------------------------------------------------- ACL
+
+struct AclEntry {
+  bool permit = true;
+  // Unset = match-any.
+  std::optional<util::Ipv4Prefix> src;
+  std::optional<util::Ipv4Prefix> dst;
+
+  bool operator==(const AclEntry&) const = default;
+};
+
+// First-match-wins; a packet matching no entry is denied.
+struct Acl {
+  std::string name;
+  std::vector<AclEntry> entries;
+
+  bool operator==(const Acl&) const = default;
+};
+
+// ------------------------------------------------------------------- BGP
+
+struct BgpNeighbor {
+  util::Ipv4Address peer_address;
+  uint32_t remote_as = 0;
+  std::string via_interface;     // local interface facing the peer
+  std::string import_route_map;  // empty = permit everything unchanged
+  std::string export_route_map;
+  bool remove_private_as = false;  // semantics depend on the vendor (VSB)
+
+  bool operator==(const BgpNeighbor&) const = default;
+};
+
+struct BgpAggregate {
+  util::Ipv4Prefix prefix;
+  bool summary_only = true;
+  std::vector<uint32_t> communities;
+
+  bool operator==(const BgpAggregate&) const = default;
+};
+
+struct BgpCondAdv {
+  util::Ipv4Prefix advertise;
+  util::Ipv4Prefix watch;
+  bool advertise_if_present = true;
+
+  bool operator==(const BgpCondAdv&) const = default;
+};
+
+struct BgpProcess {
+  bool enabled = false;
+  uint32_t asn = 0;
+  int max_paths = 1;
+  std::vector<util::Ipv4Prefix> networks;  // self-originated prefixes
+  std::vector<BgpAggregate> aggregates;
+  std::vector<BgpCondAdv> cond_advs;
+  std::vector<BgpNeighbor> neighbors;
+  bool redistribute_ospf = false;
+
+  bool operator==(const BgpProcess&) const = default;
+};
+
+// ------------------------------------------------------------------ OSPF
+
+struct OspfProcess {
+  bool enabled = false;
+  // Single-area OSPF over all configured interfaces with cost 1 per link;
+  // advertises the loopback and connected subnets.
+
+  bool operator==(const OspfProcess&) const = default;
+};
+
+// ------------------------------------------------------------- interface
+
+struct Interface {
+  std::string name;
+  util::Ipv4Address address;
+  uint8_t prefix_length = 31;
+  std::string acl_in;   // ACL names; empty = permit all
+  std::string acl_out;
+
+  bool operator==(const Interface&) const = default;
+};
+
+// ----------------------------------------------------------------- device
+
+struct ViConfig {
+  std::string hostname;
+  topo::Vendor vendor = topo::Vendor::kAlpha;
+  util::Ipv4Prefix loopback;
+  std::vector<Interface> interfaces;
+  std::unordered_map<std::string, RouteMap> route_maps;
+  std::unordered_map<std::string, Acl> acls;
+  BgpProcess bgp;
+  OspfProcess ospf;
+
+  const Interface* FindInterface(const std::string& name) const;
+  const RouteMap* FindRouteMap(const std::string& name) const;
+  const Acl* FindAcl(const std::string& name) const;
+
+  // The prefix of the p2p subnet of `iface` (address masked to length).
+  static util::Ipv4Prefix ConnectedPrefix(const Interface& iface);
+};
+
+}  // namespace s2::config

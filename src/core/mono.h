@@ -1,0 +1,52 @@
+// MonoVerifier — the monolithic simulation-based baseline ("Batfish" in
+// the paper's figures): one process/domain holds every node, one BDD node
+// table serves all data-plane work, and the per-domain memory budget makes
+// the single-server OOM wall observable. Optionally runs with prefix
+// sharding ("Batfish + prefix sharding", Fig 4), which the paper shows is
+// what lets the monolithic verifier survive the real DCN.
+//
+// It shares the exact switch model (cp::Node) and property machinery
+// (dp::*) with S2 — the integration tests rely on this to pin down the
+// RIB/verdict equivalence invariant.
+#pragma once
+
+#include "core/results.h"
+#include "cp/engine.h"
+
+namespace s2::core {
+
+struct MonoOptions {
+  // Memory budget of the single domain (0 = unlimited).
+  size_t memory_budget = 0;
+  // 0 disables prefix sharding.
+  int num_shards = 0;
+  // Single shared BDD node table capacity (0 = unbounded). The paper notes
+  // centralized DPV is bounded by the 2^32 node table (§2.2).
+  size_t max_bdd_nodes = 0;
+  dp::HeaderLayout layout;
+  int max_hops = 24;
+  int max_rounds = 1000;
+  uint64_t seed = 1;
+  util::CostModelParams cost;
+};
+
+class MonoVerifier {
+ public:
+  explicit MonoVerifier(MonoOptions options) : options_(options) {}
+
+  VerifyResult Verify(const config::ParsedNetwork& network,
+                      const std::vector<dp::Query>& queries);
+
+  // The engine of the last Verify (valid until the next call); integration
+  // tests read its converged RIBs.
+  cp::MonoEngine* last_engine() { return engine_.get(); }
+
+ private:
+  MonoOptions options_;
+  // Tracker outlives the engine: nodes release their accounted memory on
+  // destruction.
+  std::unique_ptr<util::MemoryTracker> tracker_;
+  std::unique_ptr<cp::MonoEngine> engine_;
+};
+
+}  // namespace s2::core

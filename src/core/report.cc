@@ -1,0 +1,93 @@
+#include "core/report.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace s2::core {
+
+namespace {
+
+void AppendMetrics(std::ostringstream& os, const char* name,
+                   const dist::RoundMetrics& metrics) {
+  os << "\"" << name << "\":{"
+     << "\"rounds\":" << metrics.rounds << ","
+     << "\"wall_seconds\":" << metrics.wall_seconds << ","
+     << "\"modeled_seconds\":" << metrics.modeled_seconds << ","
+     << "\"comm_bytes\":" << metrics.comm_bytes << "}";
+}
+
+void AppendQuery(std::ostringstream& os, const dp::QueryResult& query) {
+  os << "{\"reachable_pairs\":" << query.reachable_pairs
+     << ",\"unreachable_pairs\":" << query.unreachable_pairs
+     << ",\"loop_free\":" << (query.loop_free ? "true" : "false")
+     << ",\"blackhole_free\":" << (query.blackhole_free ? "true" : "false")
+     << ",\"loop_finals\":" << query.loop_finals
+     << ",\"blackhole_finals\":" << query.blackhole_finals
+     << ",\"multipath_violations\":" << query.multipath_violations.size()
+     << ",\"paths_recorded\":" << query.paths_recorded
+     << ",\"valleys\":" << query.valleys.size();
+  os << ",\"waypoints\":[";
+  for (size_t i = 0; i < query.waypoints.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"transit\":" << query.waypoints[i].transit
+       << ",\"always_traversed\":"
+       << (query.waypoints[i].always_traversed ? "true" : "false") << "}";
+  }
+  os << "],\"unreachable\":[";
+  bool first = true;
+  for (const dp::ReachabilityPair& pair : query.reachability) {
+    if (pair.reachable) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"src\":" << pair.src << ",\"dst\":" << pair.dst
+       << ",\"fraction\":" << pair.fraction << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string ToJson(const VerifyResult& result) {
+  std::ostringstream os;
+  os << "{\"status\":\"" << RunStatusName(result.status) << "\"";
+  if (!result.ok()) {
+    // Escape the failure detail minimally (quotes and backslashes).
+    os << ",\"failure\":\"";
+    for (char c : result.failure_detail) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << "\"";
+  }
+  os << ",\"total_best_routes\":" << result.total_best_routes
+     << ",\"peak_memory_bytes\":" << result.peak_memory_bytes
+     << ",\"comm_bytes\":" << result.comm_bytes
+     << ",\"forwarding_steps\":" << result.forwarding_steps
+     << ",\"parse_seconds\":" << result.parse_seconds
+     << ",\"partition_seconds\":" << result.partition_seconds << ",";
+  AppendMetrics(os, "control_plane", result.control_plane);
+  os << ",";
+  AppendMetrics(os, "dp_build", result.dp_build);
+  os << ",";
+  AppendMetrics(os, "dp_forward", result.dp_forward);
+  os << ",\"worker_peaks\":[";
+  for (size_t i = 0; i < result.worker_peaks.size(); ++i) {
+    if (i) os << ",";
+    os << result.worker_peaks[i];
+  }
+  os << "],\"queries\":[";
+  for (size_t i = 0; i < result.queries.size(); ++i) {
+    if (i) os << ",";
+    AppendQuery(os, result.queries[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool WriteJsonReport(const VerifyResult& result, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  out << ToJson(result) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace s2::core

@@ -1,0 +1,20 @@
+// Machine-readable result export: serializes a VerifyResult (status,
+// phase metrics, memory, property verdicts) as JSON for dashboards and CI
+// gates. Hand-rolled emitter — the schema is small and the repo carries no
+// third-party JSON dependency.
+#pragma once
+
+#include <string>
+
+#include "core/results.h"
+
+namespace s2::core {
+
+// JSON object string (no trailing newline). Stable key order.
+std::string ToJson(const VerifyResult& result);
+
+// Convenience: writes ToJson(result) to `path`; returns false on I/O
+// failure.
+bool WriteJsonReport(const VerifyResult& result, const std::string& path);
+
+}  // namespace s2::core

@@ -1,0 +1,57 @@
+#include "core/s2.h"
+
+#include "util/stopwatch.h"
+
+namespace s2::core {
+
+VerifyResult S2Verifier::Verify(const std::vector<std::string>& config_texts,
+                                const std::vector<dp::Query>& queries) {
+  util::Stopwatch watch;
+  config::ParsedNetwork network = config::ParseNetwork(config_texts);
+  double parse_seconds = watch.ElapsedSeconds();
+  VerifyResult result = Verify(std::move(network), queries);
+  result.parse_seconds = parse_seconds;
+  return result;
+}
+
+VerifyResult S2Verifier::Verify(config::ParsedNetwork network,
+                                const std::vector<dp::Query>& queries) {
+  VerifyResult result;
+  controller_ =
+      std::make_unique<dist::Controller>(std::move(network), options_);
+  try {
+    util::Stopwatch watch;
+    controller_->Setup();
+    result.partition_seconds = watch.ElapsedSeconds();
+
+    result.control_plane = controller_->RunControlPlane();
+    if (queries.empty() && skip_data_plane_without_queries) {
+      result.peak_memory_bytes = controller_->MaxWorkerPeakBytes();
+      result.worker_peaks = controller_->WorkerPeakBytes();
+      result.comm_bytes += controller_->TotalCommBytes();
+      result.total_best_routes = controller_->TotalBestRoutes();
+      return result;
+    }
+    result.dp_build = controller_->BuildDataPlanes();
+    for (const dp::Query& query : queries) {
+      dist::Controller::QueryOutcome outcome = controller_->RunQuery(query);
+      result.dp_forward.Add(outcome.metrics);
+      result.comm_bytes += outcome.gather_bytes;
+      result.forwarding_steps = outcome.forwarding_steps;
+      result.queries.push_back(std::move(outcome.result));
+    }
+  } catch (const util::SimulatedOom& oom) {
+    result.status = RunStatus::kOutOfMemory;
+    result.failure_detail = oom.what();
+  } catch (const util::SimulatedTimeout& timeout) {
+    result.status = RunStatus::kTimeout;
+    result.failure_detail = timeout.what();
+  }
+  result.peak_memory_bytes = controller_->MaxWorkerPeakBytes();
+  result.worker_peaks = controller_->WorkerPeakBytes();
+  result.comm_bytes += controller_->TotalCommBytes();
+  result.total_best_routes = controller_->TotalBestRoutes();
+  return result;
+}
+
+}  // namespace s2::core

@@ -1,0 +1,50 @@
+// S2Verifier — the library's public entry point for distributed
+// verification (the paper's system, end to end).
+//
+// Typical use:
+//
+//   auto network = s2::config::ParseNetwork(config_texts);
+//   s2::dist::ControllerOptions options;
+//   options.num_workers = 8;
+//   options.num_shards = 20;
+//   s2::core::S2Verifier verifier(options);
+//   s2::core::VerifyResult result = verifier.Verify(std::move(network),
+//                                                   queries);
+//
+// Simulated resource exhaustion (per-worker memory budget, BDD node-table
+// capacity) and non-convergence become result statuses, never crashes.
+#pragma once
+
+#include "core/results.h"
+#include "dist/controller.h"
+
+namespace s2::core {
+
+class S2Verifier {
+ public:
+  explicit S2Verifier(dist::ControllerOptions options)
+      : options_(options) {}
+
+  // Full workflow: partition -> distributed control plane -> distributed
+  // data plane -> queries. With `queries` empty the data plane (FIBs +
+  // predicates) is still built unless skip_data_plane_without_queries is
+  // set — the control-plane-only mode Figures 8/9 measure.
+  bool skip_data_plane_without_queries = false;
+
+  VerifyResult Verify(config::ParsedNetwork network,
+                      const std::vector<dp::Query>& queries);
+
+  // Convenience: parse raw config texts first (parse time is reported).
+  VerifyResult Verify(const std::vector<std::string>& config_texts,
+                      const std::vector<dp::Query>& queries);
+
+  // The controller of the last Verify call (valid until the next call);
+  // exposes partition/shard-plan details for diagnostics and benchmarks.
+  dist::Controller* last_controller() { return controller_.get(); }
+
+ private:
+  dist::ControllerOptions options_;
+  std::unique_ptr<dist::Controller> controller_;
+};
+
+}  // namespace s2::core

@@ -1,0 +1,117 @@
+#include "core/whatif.h"
+
+#include <algorithm>
+#include <map>
+
+namespace s2::core {
+
+namespace {
+
+// Removes the interface with `address` from `config`, together with the
+// BGP session riding on it.
+void RemoveInterface(config::ViConfig& config, util::Ipv4Address address) {
+  config.interfaces.erase(
+      std::remove_if(config.interfaces.begin(), config.interfaces.end(),
+                     [&](const config::Interface& iface) {
+                       return iface.address == address;
+                     }),
+      config.interfaces.end());
+  util::Ipv4Address peer_address(address.bits() ^ 1u);
+  auto& neighbors = config.bgp.neighbors;
+  neighbors.erase(std::remove_if(neighbors.begin(), neighbors.end(),
+                                 [&](const config::BgpNeighbor& neighbor) {
+                                   return neighbor.peer_address ==
+                                          peer_address;
+                                 }),
+                  neighbors.end());
+}
+
+}  // namespace
+
+config::ParsedNetwork RemoveLink(const config::ParsedNetwork& network,
+                                 topo::NodeId a, topo::NodeId b) {
+  config::ParsedNetwork copy = network;
+  // Collect the /31 endpoints joining a and b (possibly several parallel
+  // links) before mutating anything.
+  std::vector<util::Ipv4Address> a_side, b_side;
+  for (const config::Interface& iface : copy.configs[a].interfaces) {
+    auto other =
+        copy.address_book.find(iface.address.bits() ^ 1u);
+    if (other != copy.address_book.end() && other->second.first == b) {
+      a_side.push_back(iface.address);
+      b_side.push_back(util::Ipv4Address(iface.address.bits() ^ 1u));
+    }
+  }
+  for (util::Ipv4Address address : a_side) {
+    RemoveInterface(copy.configs[a], address);
+  }
+  for (util::Ipv4Address address : b_side) {
+    RemoveInterface(copy.configs[b], address);
+  }
+  config::ReindexParsedNetwork(copy);
+  return copy;
+}
+
+config::ParsedNetwork FailNode(const config::ParsedNetwork& network,
+                               topo::NodeId node) {
+  config::ParsedNetwork copy = network;
+  // Detach every neighbor's side first (while the address book still
+  // resolves), then strip the device itself.
+  std::vector<std::pair<topo::NodeId, util::Ipv4Address>> remote_sides;
+  for (const config::Interface& iface : copy.configs[node].interfaces) {
+    auto other = copy.address_book.find(iface.address.bits() ^ 1u);
+    if (other != copy.address_book.end()) {
+      remote_sides.emplace_back(
+          other->second.first, util::Ipv4Address(iface.address.bits() ^ 1u));
+    }
+  }
+  for (const auto& [peer, address] : remote_sides) {
+    RemoveInterface(copy.configs[peer], address);
+  }
+  copy.configs[node].interfaces.clear();
+  copy.configs[node].bgp.neighbors.clear();
+  config::ReindexParsedNetwork(copy);
+  return copy;
+}
+
+std::vector<ReachabilityChange> DiffReachability(
+    const dp::QueryResult& before, const dp::QueryResult& after) {
+  std::map<std::pair<topo::NodeId, topo::NodeId>, bool> was, now;
+  for (const dp::ReachabilityPair& pair : before.reachability) {
+    was[{pair.src, pair.dst}] = pair.reachable;
+  }
+  for (const dp::ReachabilityPair& pair : after.reachability) {
+    now[{pair.src, pair.dst}] = pair.reachable;
+  }
+  std::vector<ReachabilityChange> changes;
+  auto collect = [&](const auto& keys) {
+    for (const auto& [key, unused] : keys) {
+      auto was_it = was.find(key);
+      auto now_it = now.find(key);
+      bool before_ok = was_it != was.end() && was_it->second;
+      bool after_ok = now_it != now.end() && now_it->second;
+      if (before_ok != after_ok) {
+        changes.push_back(ReachabilityChange{key.first, key.second,
+                                             before_ok, after_ok});
+      }
+    }
+  };
+  collect(was);
+  // Pairs only present after (new ownership): report those too.
+  for (const auto& [key, reachable] : now) {
+    if (!was.count(key)) {
+      bool after_ok = reachable;
+      if (after_ok) {
+        changes.push_back(
+            ReachabilityChange{key.first, key.second, false, true});
+      }
+    }
+  }
+  std::sort(changes.begin(), changes.end(),
+            [](const ReachabilityChange& x, const ReachabilityChange& y) {
+              return std::tie(x.src, x.dst) < std::tie(y.src, y.dst);
+            });
+  return changes;
+}
+
+}  // namespace s2::core

@@ -1,0 +1,41 @@
+// What-if analysis: re-verify under hypothetical failures.
+//
+// Simulation-based verifiers reason about one concrete network state; the
+// operator workflow for failure questions is to edit the model and
+// re-verify (the paper's §6.2 contrast with analysis-based verifiers that
+// reason about arbitrary failures symbolically). These helpers produce the
+// edited models: a parsed network minus a link or minus a device, plus a
+// reachability diff between two verification results.
+#pragma once
+
+#include "config/parser.h"
+#include "dp/properties.h"
+
+namespace s2::core {
+
+// A copy of `network` with the link between `a` and `b` removed: both
+// ends' interfaces on the shared /31(s) and the BGP sessions over them
+// disappear, and the topology graph is re-inferred. Parallel links between
+// the same pair are all removed. No-op copy if no such link exists.
+config::ParsedNetwork RemoveLink(const config::ParsedNetwork& network,
+                                 topo::NodeId a, topo::NodeId b);
+
+// A copy of `network` with device `node` failed: all of its interfaces
+// and sessions are removed (the device is kept, isolated, so node ids
+// remain stable for queries and diffs).
+config::ParsedNetwork FailNode(const config::ParsedNetwork& network,
+                               topo::NodeId node);
+
+// A (src, dst) pair whose reachability differs between two results.
+struct ReachabilityChange {
+  topo::NodeId src;
+  topo::NodeId dst;
+  bool was_reachable;
+  bool now_reachable;
+};
+
+// Pairs whose verdicts changed from `before` to `after` (same query).
+std::vector<ReachabilityChange> DiffReachability(
+    const dp::QueryResult& before, const dp::QueryResult& after);
+
+}  // namespace s2::core

@@ -1,0 +1,65 @@
+#include "cp/bgp.h"
+
+#include <algorithm>
+
+#include "cp/policy.h"
+
+namespace s2::cp {
+
+std::optional<Route> TransformForExport(const Route& best,
+                                        const config::ViConfig& config,
+                                        const config::BgpNeighbor& session) {
+  PolicyResult result = ApplyRouteMap(
+      config.FindRouteMap(session.export_route_map), best, config.bgp.asn);
+  if (!result.accepted) return std::nullopt;
+  Route route = std::move(result.route);
+
+  // AS_PATH: the overwrite set action already produced [own ASN] and
+  // supersedes both remove-private-as and the prepend. Otherwise,
+  // remove-private-as applies to the path as learned — before the local
+  // prepend — which is where the §2.1 "ASNs preceding the first
+  // non-private one" semantics reads from; then the exporter's ASN is
+  // prepended.
+  if (!result.as_path_overwritten) {
+    if (session.remove_private_as) {
+      RemovePrivateAs(route.as_path, config.vendor);
+    }
+    route.as_path.insert(route.as_path.begin(), config.bgp.asn);
+  }
+  // eBGP scrubbing: LOCAL_PREF is local to the receiving AS.
+  route.local_pref = 100;
+  route.protocol = Protocol::kBgp;
+  return route;
+}
+
+std::optional<Route> ProcessImport(const Route& received,
+                                   const config::ViConfig& config,
+                                   const config::BgpNeighbor& session,
+                                   topo::NodeId from) {
+  // eBGP loop prevention: reject paths containing our own ASN.
+  if (std::find(received.as_path.begin(), received.as_path.end(),
+                config.bgp.asn) != received.as_path.end()) {
+    return std::nullopt;
+  }
+  PolicyResult result = ApplyRouteMap(
+      config.FindRouteMap(session.import_route_map), received,
+      config.bgp.asn);
+  if (!result.accepted) return std::nullopt;
+  Route route = std::move(result.route);
+  route.learned_from = from;
+  route.protocol = Protocol::kBgp;
+  return route;
+}
+
+bool SuppressedByAggregate(const util::Ipv4Prefix& prefix,
+                           const config::ViConfig& config) {
+  for (const config::BgpAggregate& agg : config.bgp.aggregates) {
+    if (agg.summary_only && agg.prefix != prefix &&
+        agg.prefix.Contains(prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace s2::cp

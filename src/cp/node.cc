@@ -1,0 +1,221 @@
+#include "cp/node.h"
+
+#include <cstdlib>
+
+#include "cp/ospf.h"
+
+namespace s2::cp {
+
+Node::Node(topo::NodeId id, const config::ParsedNetwork& network,
+           util::MemoryTracker* tracker)
+    : id_(id), network_(&network), tracker_(tracker), rib_(tracker) {
+  for (const config::BgpNeighbor& neighbor : config().bgp.neighbors) {
+    Session session;
+    session.neighbor = &neighbor;
+    session.peer = network.FindByAddress(neighbor.peer_address);
+    if (session.peer == topo::kInvalidNode) continue;  // dangling neighbor
+    sessions_.push_back(session);
+  }
+}
+
+void Node::BeginOspf() {
+  pass_ = Pass::kOspf;
+  shard_ = nullptr;
+  if (!config().ospf.enabled) return;
+  Route loopback = OspfOriginate(config().loopback, id_);
+  rib_.Upsert(topo::kInvalidNode, loopback);
+}
+
+Node::~Node() {
+  ReleaseResults(ospf_results_);
+  ReleaseResults(bgp_results_);
+}
+
+void Node::ReleaseResults(
+    std::map<util::Ipv4Prefix, std::vector<Route>>& results) {
+  if (tracker_) {
+    for (const auto& [prefix, routes] : results) {
+      for (const Route& r : routes) tracker_->Release(r.EstimateBytes());
+    }
+  }
+  results.clear();
+}
+
+void Node::FinishOspf() {
+  ReleaseResults(ospf_results_);
+  for (const auto& [prefix, routes] : rib_.all_best()) {
+    ospf_results_[prefix] = routes;
+    if (tracker_) {
+      for (const Route& r : routes) tracker_->Charge(r.EstimateBytes());
+    }
+  }
+  rib_.Clear();
+  outbox_.clear();
+  pass_ = Pass::kIdle;
+}
+
+void Node::BeginBgp(const PrefixSet* shard) {
+  pass_ = Pass::kBgp;
+  shard_ = shard;
+  OriginateStatic();
+}
+
+void Node::OriginateStatic() {
+  if (!config().bgp.enabled) return;
+  // Redistribution first; an explicit network statement for the same
+  // prefix overrides it.
+  if (config().bgp.redistribute_ospf) {
+    for (const auto& [prefix, routes] : ospf_results_) {
+      if (!InShard(prefix)) continue;
+      Route route;
+      route.prefix = prefix;
+      route.protocol = Protocol::kLocal;
+      route.origin = 2;  // incomplete
+      route.med = routes.front().metric;
+      route.origin_node = id_;
+      rib_.Upsert(topo::kInvalidNode, route);
+    }
+  }
+  for (const util::Ipv4Prefix& prefix : config().bgp.networks) {
+    if (!InShard(prefix)) continue;
+    Route route;
+    route.prefix = prefix;
+    route.protocol = Protocol::kLocal;
+    route.origin = 0;
+    route.origin_node = id_;
+    rib_.Upsert(topo::kInvalidNode, route);
+  }
+}
+
+void Node::RefreshConditional() {
+  for (const config::BgpAggregate& agg : config().bgp.aggregates) {
+    if (!InShard(agg.prefix)) continue;
+    if (rib_.HasContributor(agg.prefix)) {
+      Route route;
+      route.prefix = agg.prefix;
+      route.protocol = Protocol::kLocal;
+      route.origin = 0;
+      route.origin_node = id_;
+      for (uint32_t community : agg.communities) {
+        route.AddCommunity(community);
+      }
+      rib_.Upsert(topo::kInvalidNode, route);
+    } else {
+      rib_.Withdraw(topo::kInvalidNode, agg.prefix);
+    }
+  }
+  for (const config::BgpCondAdv& cond : config().bgp.cond_advs) {
+    if (!InShard(cond.advertise)) continue;
+    bool active = rib_.Contains(cond.watch) == cond.advertise_if_present;
+    if (active) {
+      Route route;
+      route.prefix = cond.advertise;
+      route.protocol = Protocol::kLocal;
+      route.origin = 0;
+      route.origin_node = id_;
+      rib_.Upsert(topo::kInvalidNode, route);
+    } else {
+      rib_.Withdraw(topo::kInvalidNode, cond.advertise);
+    }
+  }
+}
+
+bool Node::ComputeRound() {
+  if (pass_ == Pass::kIdle) return false;
+  if (pass_ == Pass::kBgp) RefreshConditional();
+  std::vector<util::Ipv4Prefix> changed =
+      rib_.RecomputeDirty(config().bgp.max_paths);
+  if (changed.empty()) return false;
+
+  bool produced = false;
+  for (const util::Ipv4Prefix& prefix : changed) {
+    const std::vector<Route>* best = rib_.Best(prefix);
+    for (const Session& session : sessions_) {
+      RouteUpdate update;
+      update.prefix = prefix;
+      update.withdraw = true;
+      if (best != nullptr) {
+        const Route& top = best->front();
+        bool suppressed = pass_ == Pass::kBgp &&
+                          SuppressedByAggregate(prefix, config());
+        bool split_horizon = top.learned_from == session.peer;
+        if (!suppressed && !split_horizon) {
+          if (pass_ == Pass::kBgp) {
+            auto exported =
+                TransformForExport(top, config(), *session.neighbor);
+            if (exported) {
+              update.withdraw = false;
+              update.route = std::move(*exported);
+            }
+          } else {
+            update.withdraw = false;
+            update.route = OspfExport(top);
+          }
+        }
+      }
+      outbox_[session.peer].push_back(std::move(update));
+      produced = true;
+    }
+  }
+  return produced;
+}
+
+std::vector<RouteUpdate> Node::TakeUpdatesFor(topo::NodeId neighbor) {
+  auto it = outbox_.find(neighbor);
+  if (it == outbox_.end()) return {};
+  std::vector<RouteUpdate> updates = std::move(it->second);
+  outbox_.erase(it);
+  return updates;
+}
+
+void Node::ReceiveUpdates(topo::NodeId from,
+                          const std::vector<RouteUpdate>& updates) {
+  const config::BgpNeighbor* session = nullptr;
+  if (pass_ == Pass::kBgp) {
+    for (const Session& s : sessions_) {
+      if (s.peer == from) session = s.neighbor;
+    }
+    if (session == nullptr) return;  // not a neighbor of ours
+  }
+  for (const RouteUpdate& update : updates) {
+    if (update.withdraw) {
+      rib_.Withdraw(from, update.prefix);
+      continue;
+    }
+    if (pass_ == Pass::kBgp) {
+      auto imported = ProcessImport(update.route, config(), *session, from);
+      if (imported) {
+        rib_.Upsert(from, *imported);
+      } else {
+        // A rejected announcement implicitly withdraws any previous
+        // candidate from this neighbor.
+        rib_.Withdraw(from, update.prefix);
+      }
+    } else {
+      Route route = update.route;
+      route.learned_from = from;
+      rib_.Upsert(from, route);
+    }
+  }
+}
+
+void Node::SpillBgp(RibStore& store, int shard) {
+  store.Write(shard, id_, rib_.all_best());
+  rib_.Clear();
+  outbox_.clear();
+  pass_ = Pass::kIdle;
+}
+
+void Node::RetainBgp() {
+  for (const auto& [prefix, routes] : rib_.all_best()) {
+    bgp_results_[prefix] = routes;
+    if (tracker_) {
+      for (const Route& r : routes) tracker_->Charge(r.EstimateBytes());
+    }
+  }
+  rib_.Clear();
+  outbox_.clear();
+  pass_ = Pass::kIdle;
+}
+
+}  // namespace s2::cp

@@ -1,0 +1,21 @@
+#include "cp/ospf.h"
+
+namespace s2::cp {
+
+Route OspfOriginate(const util::Ipv4Prefix& prefix, topo::NodeId node) {
+  Route route;
+  route.prefix = prefix;
+  route.protocol = Protocol::kOspf;
+  route.metric = 0;
+  route.origin_node = node;
+  route.learned_from = topo::kInvalidNode;
+  return route;
+}
+
+Route OspfExport(const Route& best) {
+  Route route = best;
+  route.metric += 1;
+  return route;
+}
+
+}  // namespace s2::cp

@@ -1,0 +1,21 @@
+// OSPF half of the switch model: single-area, uniform link cost 1.
+//
+// The propagation model is a synchronous distance-vector iteration over the
+// same round machinery as BGP; for a single-area network with static
+// uniform costs it converges to the same shortest-path (plus ECMP) fixed
+// point an SPF computation would produce, while fitting the distributed
+// pull-based framework unchanged.
+#pragma once
+
+#include "config/vi_model.h"
+#include "cp/route.h"
+
+namespace s2::cp {
+
+// The route a node originates for its own loopback (metric 0).
+Route OspfOriginate(const util::Ipv4Prefix& prefix, topo::NodeId node);
+
+// The advertisement of `best` to a neighbor: metric + 1.
+Route OspfExport(const Route& best);
+
+}  // namespace s2::cp

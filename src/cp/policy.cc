@@ -1,0 +1,103 @@
+#include "cp/policy.h"
+
+#include <algorithm>
+
+namespace s2::cp {
+
+namespace {
+
+bool ClauseMatches(const config::RouteMapClause& clause, const Route& route) {
+  if (clause.match_covered_by &&
+      !clause.match_covered_by->Contains(route.prefix)) {
+    return false;
+  }
+  if (!clause.match_any_community.empty()) {
+    bool any = false;
+    for (uint32_t community : clause.match_any_community) {
+      if (route.HasCommunity(community)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+void ApplySets(const config::RouteMapClause& clause, PolicyResult& result,
+               uint32_t own_asn) {
+  Route& route = result.route;
+  if (clause.set_local_pref) route.local_pref = *clause.set_local_pref;
+  if (clause.set_med) route.med = *clause.set_med;
+  for (uint32_t community : clause.add_communities) {
+    route.AddCommunity(community);
+  }
+  for (uint32_t community : clause.delete_communities) {
+    auto it = std::lower_bound(route.communities.begin(),
+                               route.communities.end(), community);
+    if (it != route.communities.end() && *it == community) {
+      route.communities.erase(it);
+    }
+  }
+  if (clause.as_path_prepend > 0) {
+    route.as_path.insert(route.as_path.begin(), clause.as_path_prepend,
+                         own_asn);
+  }
+  if (clause.set_as_path_overwrite) {
+    route.as_path = {own_asn};
+    result.as_path_overwritten = true;
+  }
+}
+
+}  // namespace
+
+PolicyResult ApplyRouteMap(const config::RouteMap* map, const Route& route,
+                           uint32_t own_asn) {
+  PolicyResult result;
+  result.route = route;
+  if (map == nullptr) {
+    result.accepted = true;
+    return result;
+  }
+  for (const config::RouteMapClause& clause : map->clauses) {
+    if (!ClauseMatches(clause, result.route)) continue;
+    if (!clause.permit) {
+      result.accepted = false;
+      return result;  // denied
+    }
+    ApplySets(clause, result, own_asn);
+    if (!clause.continue_next) {
+      result.accepted = true;
+      return result;
+    }
+    // continue: keep the accumulated sets and fall through to later
+    // clauses; if nothing further matches, the implicit deny applies —
+    // except that a continue clause that matched counts as a permit when
+    // followed only by non-matching clauses. Cisco semantics: the route is
+    // permitted if the last matched clause was a permit. Track that.
+    result.accepted = true;
+  }
+  return result;
+}
+
+void RemovePrivateAs(std::vector<uint32_t>& as_path, topo::Vendor vendor) {
+  if (vendor == topo::Vendor::kAlpha) {
+    // Alpha: strip every private ASN.
+    as_path.erase(std::remove_if(as_path.begin(), as_path.end(),
+                                 [](uint32_t asn) {
+                                   return IsPrivateAsn(asn);
+                                 }),
+                  as_path.end());
+  } else {
+    // Beta: strip only the leading run of private ASNs (those preceding
+    // the first public ASN in the path).
+    size_t keep_from = 0;
+    while (keep_from < as_path.size() && IsPrivateAsn(as_path[keep_from])) {
+      ++keep_from;
+    }
+    as_path.erase(as_path.begin(),
+                  as_path.begin() + static_cast<ptrdiff_t>(keep_from));
+  }
+}
+
+}  // namespace s2::cp

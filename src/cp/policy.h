@@ -1,0 +1,29 @@
+// Route-map evaluation: the policy half of the switch model. Applies a
+// vendor-independent RouteMap to a route, implementing first-match-wins
+// with continue/next-term accumulation and the implicit trailing deny.
+#pragma once
+
+#include "config/vi_model.h"
+#include "cp/route.h"
+
+namespace s2::cp {
+
+struct PolicyResult {
+  bool accepted = false;
+  // True when a matched clause applied set as-path overwrite; exporters
+  // must then skip the usual AS prepend.
+  bool as_path_overwritten = false;
+  Route route;  // the transformed route when accepted
+};
+
+// Evaluates `map` against `route`. `own_asn` feeds set as-path overwrite.
+// A null map accepts the route unchanged (no policy configured).
+PolicyResult ApplyRouteMap(const config::RouteMap* map, const Route& route,
+                           uint32_t own_asn);
+
+// remove-private-as with vendor-specific semantics (§2.1):
+//   Alpha strips every private ASN from the path;
+//   Beta strips only the private ASNs preceding the first public one.
+void RemovePrivateAs(std::vector<uint32_t>& as_path, topo::Vendor vendor);
+
+}  // namespace s2::cp

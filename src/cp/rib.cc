@@ -1,0 +1,183 @@
+#include "cp/rib.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace s2::cp {
+
+void Rib::ChargeRoute(const Route& route) {
+  if (tracker_) tracker_->Charge(route.EstimateBytes());
+}
+
+void Rib::ReleaseRoute(const Route& route) {
+  if (tracker_) tracker_->Release(route.EstimateBytes());
+}
+
+void Rib::Upsert(topo::NodeId from, const Route& route) {
+  auto& per_neighbor = candidates_[route.prefix];
+  auto it = per_neighbor.find(from);
+  if (it != per_neighbor.end()) {
+    if (it->second == route) return;  // unchanged
+    ReleaseRoute(it->second);
+    it->second = route;
+  } else {
+    per_neighbor.emplace(from, route);
+    ++candidate_count_;
+  }
+  ChargeRoute(route);
+  dirty_.insert(route.prefix);
+}
+
+void Rib::Withdraw(topo::NodeId from, const util::Ipv4Prefix& prefix) {
+  auto it = candidates_.find(prefix);
+  if (it == candidates_.end()) return;
+  auto candidate = it->second.find(from);
+  if (candidate == it->second.end()) return;
+  ReleaseRoute(candidate->second);
+  it->second.erase(candidate);
+  --candidate_count_;
+  if (it->second.empty()) candidates_.erase(it);
+  dirty_.insert(prefix);
+}
+
+std::vector<util::Ipv4Prefix> Rib::RecomputeDirty(int max_paths) {
+  std::vector<util::Ipv4Prefix> changed;
+  for (const util::Ipv4Prefix& prefix : dirty_) {
+    std::vector<Route> selected;
+    auto it = candidates_.find(prefix);
+    if (it != candidates_.end() && !it->second.empty()) {
+      // Deterministic order: gather and sort by the full decision process.
+      std::vector<const Route*> all;
+      all.reserve(it->second.size());
+      for (const auto& [from, route] : it->second) all.push_back(&route);
+      std::sort(all.begin(), all.end(), [](const Route* a, const Route* b) {
+        return BetterRoute(*a, *b);
+      });
+      selected.push_back(*all[0]);
+      for (size_t i = 1;
+           i < all.size() && selected.size() < size_t(max_paths); ++i) {
+        if (EcmpEquivalent(*all[i], *all[0])) selected.push_back(*all[i]);
+      }
+    }
+    auto best_it = best_.find(prefix);
+    const bool had = best_it != best_.end();
+    if (selected.empty()) {
+      if (had) {
+        for (const Route& r : best_it->second) ReleaseRoute(r);
+        best_.erase(best_it);
+        changed.push_back(prefix);
+      }
+    } else if (!had || best_it->second != selected) {
+      if (had) {
+        for (const Route& r : best_it->second) ReleaseRoute(r);
+      }
+      for (const Route& r : selected) ChargeRoute(r);
+      best_[prefix] = std::move(selected);
+      changed.push_back(prefix);
+    }
+  }
+  dirty_.clear();
+  // Sort for determinism: callers iterate this to build exports.
+  std::sort(changed.begin(), changed.end());
+  return changed;
+}
+
+const std::vector<Route>* Rib::Best(const util::Ipv4Prefix& prefix) const {
+  auto it = best_.find(prefix);
+  return it == best_.end() ? nullptr : &it->second;
+}
+
+bool Rib::HasContributor(const util::Ipv4Prefix& prefix) const {
+  // best_ is ordered by (address, length); covered prefixes sort at or
+  // after the aggregate's own position.
+  for (auto it = best_.lower_bound(prefix); it != best_.end(); ++it) {
+    if (!prefix.Contains(it->first)) {
+      if (it->first.address().bits() > (prefix.address().bits() |
+                                        ~prefix.Mask())) {
+        break;  // past the covered address range
+      }
+      continue;
+    }
+    if (it->first != prefix) return true;
+  }
+  return false;
+}
+
+void Rib::Clear() {
+  if (tracker_) {
+    for (const auto& [prefix, per_neighbor] : candidates_) {
+      for (const auto& [from, route] : per_neighbor) ReleaseRoute(route);
+    }
+    for (const auto& [prefix, routes] : best_) {
+      for (const Route& r : routes) ReleaseRoute(r);
+    }
+  }
+  candidates_.clear();
+  best_.clear();
+  dirty_.clear();
+  candidate_count_ = 0;
+}
+
+// ------------------------------------------------------------- RibStore
+
+RibStore::RibStore() {
+  static std::atomic<uint64_t> counter{0};
+  dir_ = std::filesystem::temp_directory_path() /
+         ("s2-ribstore-" + std::to_string(::getpid()) + "-" +
+          std::to_string(counter.fetch_add(1)));
+  std::filesystem::create_directories(dir_);
+}
+
+RibStore::~RibStore() {
+  std::error_code ec;
+  std::filesystem::remove_all(dir_, ec);
+}
+
+void RibStore::Write(
+    int shard, topo::NodeId node,
+    const std::map<util::Ipv4Prefix, std::vector<Route>>& best) {
+  std::vector<RouteUpdate> updates;
+  for (const auto& [prefix, routes] : best) {
+    for (const Route& route : routes) {
+      updates.push_back(RouteUpdate{prefix, false, route});
+    }
+  }
+  std::vector<uint8_t> bytes;
+  SerializeRoutes(updates, bytes);
+  auto path = dir_ / (std::to_string(shard) + "-" + std::to_string(node) +
+                      ".rib");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) std::abort();  // disk trouble is not a recoverable verdict
+  bytes_written_ += bytes.size();
+  routes_written_ += updates.size();
+  entries_.emplace_back(shard, node);
+}
+
+std::map<util::Ipv4Prefix, std::vector<Route>> RibStore::ReadAll(
+    topo::NodeId node) const {
+  std::map<util::Ipv4Prefix, std::vector<Route>> merged;
+  for (const auto& [shard, entry_node] : entries_) {
+    if (entry_node != node) continue;
+    auto path = dir_ / (std::to_string(shard) + "-" +
+                        std::to_string(entry_node) + ".rib");
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) std::abort();
+    std::vector<uint8_t> bytes(static_cast<size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    for (RouteUpdate& update : DeserializeRoutes(bytes)) {
+      merged[update.prefix].push_back(std::move(update.route));
+    }
+  }
+  return merged;
+}
+
+}  // namespace s2::cp

@@ -1,0 +1,113 @@
+// Per-node RIB: candidate routes per (prefix, neighbor), selected best /
+// ECMP sets, and the on-disk RIB store used by prefix sharding.
+//
+// The candidate table is the memory hog the paper's per-worker accounting
+// is about: every insert/replace/erase is charged to the owning domain's
+// MemoryTracker, so per-worker peaks and simulated OOM fall out of real
+// bookkeeping rather than a formula.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cp/route.h"
+#include "util/memory_tracker.h"
+
+namespace s2::cp {
+
+// A RIB for one protocol on one node. Neighbors contribute at most one
+// candidate per prefix (standard BGP advertises only its best); locally
+// originated state uses learned_from = kInvalidNode.
+class Rib {
+ public:
+  explicit Rib(util::MemoryTracker* tracker) : tracker_(tracker) {}
+  ~Rib() { Clear(); }
+
+  Rib(const Rib&) = delete;
+  Rib& operator=(const Rib&) = delete;
+
+  // Inserts/replaces the candidate from `from` for route.prefix. Marks the
+  // prefix dirty if the candidate actually changed.
+  void Upsert(topo::NodeId from, const Route& route);
+
+  // Removes the candidate from `from` for `prefix` (no-op if absent).
+  void Withdraw(topo::NodeId from, const util::Ipv4Prefix& prefix);
+
+  // Recomputes best/ECMP sets for all dirty prefixes. Returns the prefixes
+  // whose *best set* changed (these feed the next round's exports). ECMP
+  // sets keep up to `max_paths` EcmpEquivalent routes, deterministically
+  // ordered; element 0 is the single best route.
+  std::vector<util::Ipv4Prefix> RecomputeDirty(int max_paths);
+
+  // Best/ECMP set for a prefix; nullptr if no route.
+  const std::vector<Route>* Best(const util::Ipv4Prefix& prefix) const;
+
+  // True if a route for exactly `prefix` is present (conditional
+  // advertisement's existence test).
+  bool Contains(const util::Ipv4Prefix& prefix) const {
+    return best_.count(prefix) != 0;
+  }
+
+  // True if any strictly-more-specific prefix covered by `prefix` has a
+  // best route (aggregate activation test).
+  bool HasContributor(const util::Ipv4Prefix& prefix) const;
+
+  const std::map<util::Ipv4Prefix, std::vector<Route>>& all_best() const {
+    return best_;
+  }
+
+  size_t candidate_count() const { return candidate_count_; }
+
+  // Drops all state (end of a shard round: results were spilled), releasing
+  // the accounted memory.
+  void Clear();
+
+ private:
+  void ChargeRoute(const Route& route);
+  void ReleaseRoute(const Route& route);
+
+  util::MemoryTracker* tracker_;
+  // prefix -> neighbor -> candidate. Ordered maps keep iteration (and thus
+  // everything downstream) deterministic.
+  std::map<util::Ipv4Prefix, std::map<topo::NodeId, Route>> candidates_;
+  std::map<util::Ipv4Prefix, std::vector<Route>> best_;
+  std::unordered_set<util::Ipv4Prefix> dirty_;
+  size_t candidate_count_ = 0;
+};
+
+// Persistent storage for converged shard results (paper §3.1: "when this
+// round ends, we write it to persistent storage"). One file per
+// (shard, node) under a unique temp directory; files are real so the spill
+// path costs real I/O.
+class RibStore {
+ public:
+  // Creates a fresh directory under the system temp dir.
+  RibStore();
+  ~RibStore();
+
+  RibStore(const RibStore&) = delete;
+  RibStore& operator=(const RibStore&) = delete;
+
+  void Write(int shard, topo::NodeId node,
+             const std::map<util::Ipv4Prefix, std::vector<Route>>& best);
+
+  // Reads every shard's routes for `node`, merged into one map.
+  std::map<util::Ipv4Prefix, std::vector<Route>> ReadAll(
+      topo::NodeId node) const;
+
+  size_t bytes_written() const { return bytes_written_; }
+  size_t routes_written() const { return routes_written_; }
+
+ private:
+  std::filesystem::path dir_;
+  size_t bytes_written_ = 0;
+  size_t routes_written_ = 0;
+  std::vector<std::pair<int, topo::NodeId>> entries_;
+};
+
+}  // namespace s2::cp

@@ -1,0 +1,149 @@
+#include "cp/route.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace s2::cp {
+
+uint32_t AdminDistance(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kConnected:
+      return 0;
+    case Protocol::kLocal:
+      return 5;
+    case Protocol::kBgp:
+      return 20;
+    case Protocol::kOspf:
+      return 110;
+  }
+  return 255;
+}
+
+bool Route::HasCommunity(uint32_t community) const {
+  return std::binary_search(communities.begin(), communities.end(),
+                            community);
+}
+
+void Route::AddCommunity(uint32_t community) {
+  auto it = std::lower_bound(communities.begin(), communities.end(),
+                             community);
+  if (it == communities.end() || *it != community) {
+    communities.insert(it, community);
+  }
+}
+
+size_t Route::EstimateBytes() const {
+  return 150 + 4 * as_path.size() + 4 * communities.size();
+}
+
+bool BetterRoute(const Route& a, const Route& b) {
+  uint32_t ad_a = AdminDistance(a.protocol), ad_b = AdminDistance(b.protocol);
+  if (ad_a != ad_b) return ad_a < ad_b;
+  if (a.protocol == Protocol::kOspf && b.protocol == Protocol::kOspf) {
+    if (a.metric != b.metric) return a.metric < b.metric;
+  }
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  if (a.as_path.size() != b.as_path.size()) {
+    return a.as_path.size() < b.as_path.size();
+  }
+  if (a.origin != b.origin) return a.origin < b.origin;
+  if (a.med != b.med) return a.med < b.med;
+  if (a.learned_from != b.learned_from) return a.learned_from < b.learned_from;
+  if (a.origin_node != b.origin_node) return a.origin_node < b.origin_node;
+  return a.as_path < b.as_path;
+}
+
+bool EcmpEquivalent(const Route& a, const Route& b) {
+  return AdminDistance(a.protocol) == AdminDistance(b.protocol) &&
+         a.local_pref == b.local_pref &&
+         a.as_path.size() == b.as_path.size() && a.origin == b.origin &&
+         a.med == b.med && a.metric == b.metric;
+}
+
+namespace {
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetU32(const std::vector<uint8_t>& in, size_t& pos) {
+  if (pos + 4 > in.size()) std::abort();
+  uint32_t v = uint32_t{in[pos]} | (uint32_t{in[pos + 1]} << 8) |
+               (uint32_t{in[pos + 2]} << 16) | (uint32_t{in[pos + 3]} << 24);
+  pos += 4;
+  return v;
+}
+
+void PutU32List(std::vector<uint8_t>& out, const std::vector<uint32_t>& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (uint32_t x : v) PutU32(out, x);
+}
+
+std::vector<uint32_t> GetU32List(const std::vector<uint8_t>& in,
+                                 size_t& pos) {
+  uint32_t n = GetU32(in, pos);
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) v.push_back(GetU32(in, pos));
+  return v;
+}
+
+}  // namespace
+
+void SerializeRoutes(const std::vector<RouteUpdate>& updates,
+                     std::vector<uint8_t>& out) {
+  PutU32(out, static_cast<uint32_t>(updates.size()));
+  for (const RouteUpdate& update : updates) {
+    PutU32(out, update.prefix.address().bits());
+    out.push_back(update.prefix.length());
+    out.push_back(update.withdraw ? 1 : 0);
+    if (update.withdraw) continue;
+    const Route& r = update.route;
+    out.push_back(static_cast<uint8_t>(r.protocol));
+    out.push_back(r.origin);
+    PutU32(out, r.local_pref);
+    PutU32(out, r.med);
+    PutU32(out, r.metric);
+    PutU32(out, r.origin_node);
+    PutU32(out, r.learned_from);
+    PutU32List(out, r.as_path);
+    PutU32List(out, r.communities);
+  }
+}
+
+std::vector<RouteUpdate> DeserializeRoutes(
+    const std::vector<uint8_t>& bytes) {
+  size_t pos = 0;
+  uint32_t count = GetU32(bytes, pos);
+  std::vector<RouteUpdate> updates;
+  updates.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RouteUpdate update;
+    uint32_t addr = GetU32(bytes, pos);
+    if (pos + 2 > bytes.size()) std::abort();
+    uint8_t length = bytes[pos++];
+    update.prefix = util::Ipv4Prefix(util::Ipv4Address(addr), length);
+    update.withdraw = bytes[pos++] != 0;
+    if (!update.withdraw) {
+      if (pos + 2 > bytes.size()) std::abort();
+      Route& r = update.route;
+      r.prefix = update.prefix;
+      r.protocol = static_cast<Protocol>(bytes[pos++]);
+      r.origin = bytes[pos++];
+      r.local_pref = GetU32(bytes, pos);
+      r.med = GetU32(bytes, pos);
+      r.metric = GetU32(bytes, pos);
+      r.origin_node = GetU32(bytes, pos);
+      r.learned_from = GetU32(bytes, pos);
+      r.as_path = GetU32List(bytes, pos);
+      r.communities = GetU32List(bytes, pos);
+    }
+    updates.push_back(std::move(update));
+  }
+  return updates;
+}
+
+}  // namespace s2::cp

@@ -1,0 +1,91 @@
+// Route value types and their wire serialization.
+//
+// Routes are the unit of control-plane state: nodes hold candidate routes
+// per (prefix, neighbor), exchange best routes in synchronous rounds, and
+// spill converged shard results to persistent storage (paper §3.1/§4.5).
+// The serialization here is what sidecars ship across worker boundaries
+// and what the RIB store writes to disk.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.h"
+#include "util/ip.h"
+
+namespace s2::cp {
+
+enum class Protocol : uint8_t {
+  kConnected = 0,
+  kLocal = 1,  // locally originated BGP state: network / aggregate / cond-adv
+  kBgp = 2,
+  kOspf = 3,
+};
+
+// Route preference between protocols (lower wins), Cisco-flavoured:
+// connected 0, local 5, eBGP 20, OSPF 110.
+uint32_t AdminDistance(Protocol protocol);
+
+// The private 2-byte ASN range, used by remove-private-as (§2.1 VSB).
+inline constexpr uint32_t kPrivateAsnFirst = 64512;
+inline constexpr uint32_t kPrivateAsnLast = 65534;
+inline bool IsPrivateAsn(uint32_t asn) {
+  return asn >= kPrivateAsnFirst && asn <= kPrivateAsnLast;
+}
+
+struct Route {
+  util::Ipv4Prefix prefix;
+  Protocol protocol = Protocol::kBgp;
+
+  // BGP attributes.
+  uint32_t local_pref = 100;
+  std::vector<uint32_t> as_path;
+  std::vector<uint32_t> communities;  // sorted, unique
+  uint8_t origin = 0;                 // 0=IGP < 1=EGP < 2=incomplete
+  uint32_t med = 0;
+
+  // OSPF metric.
+  uint32_t metric = 0;
+
+  // Provenance: the node that originated the prefix and the neighbor this
+  // node learned it from (kInvalidNode = locally originated). The FIB
+  // derives the output interface from learned_from.
+  topo::NodeId origin_node = topo::kInvalidNode;
+  topo::NodeId learned_from = topo::kInvalidNode;
+
+  bool operator==(const Route&) const = default;
+
+  bool HasCommunity(uint32_t community) const;
+  void AddCommunity(uint32_t community);  // keeps the set sorted/unique
+
+  // Bytes this route is accounted as in MemoryTrackers. Sized after the
+  // JVM footprint of a Batfish BGP route so memory curves land in the same
+  // regime as the paper's (DESIGN.md S4).
+  size_t EstimateBytes() const;
+};
+
+// Deterministic BGP decision process over two candidates of the same
+// prefix: returns true when `a` is strictly preferred over `b`.
+// Order: protocol admin distance, local-pref, AS-path length, origin, MED,
+// then deterministic tie-breaks (learned_from, origin_node, AS-path
+// lexicographic) so results never depend on arrival order.
+bool BetterRoute(const Route& a, const Route& b);
+
+// True when `a` and `b` tie on every multipath-relevant attribute (equal
+// admin distance, local-pref, AS-path length, origin, MED, metric) and may
+// share the FIB entry under ECMP.
+bool EcmpEquivalent(const Route& a, const Route& b);
+
+// One entry of a route exchange: an announcement or a withdrawal.
+struct RouteUpdate {
+  util::Ipv4Prefix prefix;
+  bool withdraw = false;
+  Route route;  // meaningful unless withdraw
+};
+
+// Wire format used by sidecars and the RIB store.
+void SerializeRoutes(const std::vector<RouteUpdate>& updates,
+                     std::vector<uint8_t>& out);
+std::vector<RouteUpdate> DeserializeRoutes(const std::vector<uint8_t>& bytes);
+
+}  // namespace s2::cp

@@ -1,0 +1,204 @@
+#include "cp/shard.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace s2::cp {
+
+namespace {
+
+// Union-find over dense indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+int ShardPlan::ShardOf(const util::Ipv4Prefix& prefix) const {
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].count(prefix)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<util::Ipv4Prefix> CollectBgpPrefixes(
+    const config::ParsedNetwork& network) {
+  PrefixSet universe;
+  // OSPF-contributed prefixes (the redistribution closure): loopbacks of
+  // OSPF speakers can appear in any redistributing device's BGP RIB.
+  PrefixSet ospf_prefixes;
+  bool any_redistributes = false;
+  for (const config::ViConfig& config : network.configs) {
+    if (config.ospf.enabled) ospf_prefixes.insert(config.loopback);
+    if (config.bgp.redistribute_ospf) any_redistributes = true;
+  }
+  for (const config::ViConfig& config : network.configs) {
+    for (const util::Ipv4Prefix& p : config.bgp.networks) universe.insert(p);
+    for (const config::BgpAggregate& agg : config.bgp.aggregates) {
+      universe.insert(agg.prefix);
+    }
+    for (const config::BgpCondAdv& cond : config.bgp.cond_advs) {
+      universe.insert(cond.advertise);
+      universe.insert(cond.watch);
+    }
+  }
+  if (any_redistributes) {
+    universe.insert(ospf_prefixes.begin(), ospf_prefixes.end());
+  }
+  std::vector<util::Ipv4Prefix> out(universe.begin(), universe.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ShardPlan BuildShardPlan(const config::ParsedNetwork& network, int num_shards,
+                         uint64_t seed) {
+  std::vector<util::Ipv4Prefix> prefixes = CollectBgpPrefixes(network);
+  std::map<util::Ipv4Prefix, size_t> index;
+  for (size_t i = 0; i < prefixes.size(); ++i) index[prefixes[i]] = i;
+
+  // DPDG edges -> weakly connected components via union-find. Directions
+  // don't matter for components, so edges are unioned directly.
+  UnionFind uf(prefixes.size());
+  for (const config::ViConfig& config : network.configs) {
+    for (const config::BgpAggregate& agg : config.bgp.aggregates) {
+      size_t a = index.at(agg.prefix);
+      // An aggregate depends on every (potential) contributing prefix.
+      for (size_t i = 0; i < prefixes.size(); ++i) {
+        if (prefixes[i] != agg.prefix && agg.prefix.Contains(prefixes[i])) {
+          uf.Union(a, i);
+        }
+      }
+    }
+    for (const config::BgpCondAdv& cond : config.bgp.cond_advs) {
+      uf.Union(index.at(cond.advertise), index.at(cond.watch));
+    }
+  }
+
+  // Components, largest first; shuffle equal sizes (paper §4.5).
+  std::map<size_t, std::vector<size_t>> components;
+  for (size_t i = 0; i < prefixes.size(); ++i) {
+    components[uf.Find(i)].push_back(i);
+  }
+  std::vector<std::vector<size_t>> ccs;
+  ccs.reserve(components.size());
+  for (auto& [root, members] : components) ccs.push_back(std::move(members));
+  util::Rng rng(seed);
+  rng.Shuffle(ccs);
+  std::stable_sort(ccs.begin(), ccs.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() > b.size();
+                   });
+
+  ShardPlan plan;
+  size_t shard_count = std::max<size_t>(
+      1, std::min<size_t>(static_cast<size_t>(num_shards), ccs.size()));
+  plan.shards.resize(shard_count);
+  for (const std::vector<size_t>& cc : ccs) {
+    size_t smallest = 0;
+    for (size_t s = 1; s < plan.shards.size(); ++s) {
+      if (plan.shards[s].size() < plan.shards[smallest].size()) smallest = s;
+    }
+    for (size_t i : cc) plan.shards[smallest].insert(prefixes[i]);
+  }
+  return plan;
+}
+
+int MergeShards(ShardPlan& plan, const util::Ipv4Prefix& a,
+                const util::Ipv4Prefix& b) {
+  int sa = plan.ShardOf(a), sb = plan.ShardOf(b);
+  if (sa < 0 || sb < 0 || sa == sb) return -1;
+  int lo = std::min(sa, sb), hi = std::max(sa, sb);
+  plan.shards[lo].insert(plan.shards[hi].begin(), plan.shards[hi].end());
+  plan.shards.erase(plan.shards.begin() + hi);
+  return lo;
+}
+
+namespace {
+
+// Visits every (dependent, required) prefix pair the configs induce.
+template <typename Fn>
+void ForEachDependency(const config::ParsedNetwork& network,
+                       const std::vector<util::Ipv4Prefix>& universe,
+                       Fn&& fn) {
+  for (const config::ViConfig& config : network.configs) {
+    for (const config::BgpAggregate& agg : config.bgp.aggregates) {
+      for (const util::Ipv4Prefix& prefix : universe) {
+        if (prefix != agg.prefix && agg.prefix.Contains(prefix)) {
+          fn(agg.prefix, prefix);
+        }
+      }
+    }
+    for (const config::BgpCondAdv& cond : config.bgp.cond_advs) {
+      fn(cond.advertise, cond.watch);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ShardViolation> ValidateShardPlan(
+    const config::ParsedNetwork& network, const ShardPlan& plan) {
+  std::vector<ShardViolation> violations;
+  auto universe = CollectBgpPrefixes(network);
+  ForEachDependency(network, universe,
+                    [&](const util::Ipv4Prefix& dependent,
+                        const util::Ipv4Prefix& required) {
+                      int sd = plan.ShardOf(dependent);
+                      int sr = plan.ShardOf(required);
+                      if (sd < 0 || sr < 0 || sd != sr) {
+                        violations.push_back(
+                            ShardViolation{dependent, required});
+                      }
+                    });
+  return violations;
+}
+
+int RepairShardPlan(const config::ParsedNetwork& network, ShardPlan& plan) {
+  int fixes = 0;
+  // Each merge can invalidate previously-clean pairs' indices, so iterate
+  // to a fixed point; the plan only ever shrinks, so this terminates.
+  for (;;) {
+    std::vector<ShardViolation> violations =
+        ValidateShardPlan(network, plan);
+    if (violations.empty()) return fixes;
+    for (const ShardViolation& violation : violations) {
+      int sd = plan.ShardOf(violation.dependent);
+      int sr = plan.ShardOf(violation.required);
+      if (sd < 0 && sr < 0) {
+        if (plan.shards.empty()) plan.shards.emplace_back();
+        plan.shards[0].insert(violation.dependent);
+        plan.shards[0].insert(violation.required);
+        ++fixes;
+      } else if (sd < 0) {
+        plan.shards[sr].insert(violation.dependent);
+        ++fixes;
+      } else if (sr < 0) {
+        plan.shards[sd].insert(violation.required);
+        ++fixes;
+      } else if (sd != sr) {
+        MergeShards(plan, violation.dependent, violation.required);
+        ++fixes;
+        break;  // indices shifted; re-validate
+      }
+    }
+  }
+}
+
+}  // namespace s2::cp

@@ -1,0 +1,71 @@
+// Prefix sharding (paper §4.5).
+//
+// Route computations for different prefixes are mostly independent; the
+// exceptions are (a) aggregates, which activate based on contributing
+// (covered) prefixes, and (b) conditional advertisements, which watch
+// another prefix. Both become edges of the directed prefix dependency
+// graph (DPDG). Shards are built from the DPDG's weakly connected
+// components with a largest-first greedy packing; components of equal size
+// are shuffled so shards don't end up dominated by prefixes originating
+// from switches on the same worker (the paper's balance note).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/parser.h"
+#include "cp/node.h"
+
+namespace s2::cp {
+
+struct ShardPlan {
+  std::vector<PrefixSet> shards;
+
+  size_t total_prefixes() const {
+    size_t n = 0;
+    for (const PrefixSet& shard : shards) n += shard.size();
+    return n;
+  }
+  // Index of the shard containing `prefix`, or -1.
+  int ShardOf(const util::Ipv4Prefix& prefix) const;
+};
+
+// The BGP prefix universe: network statements, aggregates, conditional
+// advertisements (both sides), and — for devices redistributing OSPF —
+// the prefixes OSPF can contribute (loopbacks of OSPF-enabled devices),
+// mirroring the paper's redistribution closure.
+std::vector<util::Ipv4Prefix> CollectBgpPrefixes(
+    const config::ParsedNetwork& network);
+
+// Builds `num_shards` shards (fewer if there are fewer components).
+ShardPlan BuildShardPlan(const config::ParsedNetwork& network, int num_shards,
+                         uint64_t seed = 1);
+
+// The §7 unforeseen-dependency fallback: merges the shards containing two
+// prefixes discovered to depend on each other at runtime; the merged shard
+// replaces the lower-indexed one. Returns the index of the merged shard,
+// or -1 when the prefixes already share a shard.
+int MergeShards(ShardPlan& plan, const util::Ipv4Prefix& a,
+                const util::Ipv4Prefix& b);
+
+// A dependency between two prefixes that a shard plan fails to respect
+// (they sit in different shards, or one is missing entirely).
+struct ShardViolation {
+  util::Ipv4Prefix dependent;  // aggregate / advertised prefix
+  util::Ipv4Prefix required;   // contributor / watched prefix
+};
+
+// Checks that `plan` co-locates every dependent pair the configurations
+// induce: each aggregate with its potential contributors, each conditional
+// advertisement with its watch. The same check the paper's §7 extension
+// performs at runtime; with plans built by BuildShardPlan it never fires,
+// but plans can also come from users or stale caches.
+std::vector<ShardViolation> ValidateShardPlan(
+    const config::ParsedNetwork& network, const ShardPlan& plan);
+
+// Repairs `plan` in place by merging shards (and inserting missing
+// prefixes into the dependent's shard) until ValidateShardPlan is clean —
+// the paper's merge-and-recompute fallback. Returns the number of fixes.
+int RepairShardPlan(const config::ParsedNetwork& network, ShardPlan& plan);
+
+}  // namespace s2::cp

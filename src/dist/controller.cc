@@ -1,0 +1,115 @@
+#include "dist/controller.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace s2::dist {
+
+Controller::Controller(config::ParsedNetwork network,
+                       ControllerOptions options)
+    : network_(std::move(network)), options_(options) {}
+
+Controller::~Controller() = default;
+
+void Controller::Setup() {
+  partition_ = topo::Partition(network_.graph, options_.num_workers,
+                               options_.scheme, options_.seed);
+  fabric_ = std::make_unique<SidecarFabric>(options_.num_workers,
+                                            partition_.assignment);
+
+  Worker::Options worker_options;
+  worker_options.memory_budget = options_.worker_memory_budget;
+  worker_options.max_bdd_nodes = options_.max_bdd_nodes;
+  worker_options.layout = options_.layout;
+  worker_options.max_hops = options_.max_hops;
+  workers_.clear();
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(w, network_, fabric_.get(),
+                                                worker_options));
+  }
+
+  size_t threads = options_.pool_threads;
+  if (threads == 0) {
+    threads = std::min<size_t>(options_.num_workers,
+                               std::max(1u,
+                                        std::thread::hardware_concurrency()));
+  }
+  pool_ = std::make_unique<util::ThreadPool>(threads);
+  cpo_ = std::make_unique<Cpo>(&workers_, fabric_.get(), pool_.get(),
+                               options_.cost, options_.max_rounds);
+  dpo_ = std::make_unique<Dpo>(&workers_, fabric_.get(), pool_.get(),
+                               options_.cost);
+
+  if (options_.num_shards > 0) {
+    plan_ = cp::BuildShardPlan(network_, options_.num_shards,
+                               options_.seed);
+    // §7 fallback: a freshly built plan is already dependency-closed, but
+    // repair defensively so externally cached/edited plans can't split
+    // dependent prefixes.
+    cp::RepairShardPlan(network_, *plan_);
+    store_ = std::make_unique<cp::RibStore>();
+  }
+
+  gather_manager_ =
+      std::make_unique<bdd::Manager>(options_.layout.total_bits());
+}
+
+RoundMetrics Controller::RunControlPlane() {
+  bool any_ospf = false;
+  for (const config::ViConfig& config : network_.configs) {
+    any_ospf = any_ospf || config.ospf.enabled;
+  }
+  return cpo_->Run(any_ospf, plan_ ? &*plan_ : nullptr, store_.get());
+}
+
+RoundMetrics Controller::BuildDataPlanes() {
+  return dpo_->BuildDataPlanes(store_.get());
+}
+
+Controller::QueryOutcome Controller::RunQuery(const dp::Query& query) {
+  dp::PacketCodec gather_codec(gather_manager_.get(), options_.layout);
+  Dpo::QueryRun run = dpo_->RunQuery(query, gather_codec);
+  QueryOutcome outcome;
+  outcome.metrics = run.metrics;
+  outcome.gather_bytes = run.gather_bytes;
+  for (const auto& worker : workers_) {
+    outcome.forwarding_steps += worker->forwarding_steps();
+  }
+  outcome.result =
+      dp::EvaluateQuery(query, gather_codec, run.finals, network_);
+  return outcome;
+}
+
+size_t Controller::TotalBestRoutes() const {
+  if (store_) return store_->routes_written();
+  size_t total = 0;
+  for (const auto& worker : workers_) {
+    for (topo::NodeId id : worker->local_nodes()) {
+      for (const auto& [prefix, routes] : worker->node(id).bgp_routes()) {
+        total += routes.size();
+      }
+    }
+  }
+  return total;
+}
+
+size_t Controller::MaxWorkerPeakBytes() const {
+  // Worker peaks are reset per shard round to attribute them; the CPO
+  // remembers the highest one it saw.
+  size_t peak = cpo_ ? cpo_->observed_peak() : 0;
+  for (const auto& worker : workers_) {
+    peak = std::max(peak, worker->tracker().peak_bytes());
+  }
+  return peak;
+}
+
+std::vector<size_t> Controller::WorkerPeakBytes() const {
+  std::vector<size_t> peaks;
+  peaks.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    peaks.push_back(worker->tracker().peak_bytes());
+  }
+  return peaks;
+}
+
+}  // namespace s2::dist

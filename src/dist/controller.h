@@ -1,0 +1,97 @@
+// The S2 Controller (paper §3.2): parser + partitioner + CPO + DPO.
+//
+// Owns the parsed network, the partition, the sidecar fabric, the workers
+// and their thread pool, and exposes the verification workflow phase by
+// phase so the core facade (core/s2.h) and the benchmarks can time and
+// meter each stage exactly as the paper's figures slice them.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "dist/dpo.h"
+#include "topo/partition.h"
+
+namespace s2::dist {
+
+struct ControllerOptions {
+  uint32_t num_workers = 4;
+  topo::PartitionScheme scheme = topo::PartitionScheme::kMetisLike;
+  // 0 disables prefix sharding.
+  int num_shards = 0;
+  // Per-worker memory budget in bytes (0 = unlimited): the knob that makes
+  // the paper's OOM crossovers observable at laptop scale.
+  size_t worker_memory_budget = 0;
+  size_t max_bdd_nodes = 0;
+  dp::HeaderLayout layout;
+  int max_hops = 24;
+  int max_rounds = 1000;
+  uint64_t seed = 1;
+  CostModelParams cost;
+  // Thread pool size; 0 = min(num_workers, hardware concurrency).
+  size_t pool_threads = 0;
+};
+
+class Controller {
+ public:
+  Controller(config::ParsedNetwork network, ControllerOptions options);
+  ~Controller();
+
+  // Partition the network, set up workers (real + shadow nodes), and build
+  // the shard plan when sharding is on.
+  void Setup();
+
+  // Distributed control-plane simulation (sharded per options).
+  RoundMetrics RunControlPlane();
+
+  // Distributed FIB + predicate computation.
+  RoundMetrics BuildDataPlanes();
+
+  struct QueryOutcome {
+    dp::QueryResult result;
+    RoundMetrics metrics;
+    size_t gather_bytes = 0;
+    size_t forwarding_steps = 0;
+  };
+  QueryOutcome RunQuery(const dp::Query& query);
+
+  // ------------------------------------------------------------- metrics
+  // Highest per-worker peak memory (the paper's "per-worker peak memory").
+  size_t MaxWorkerPeakBytes() const;
+  std::vector<size_t> WorkerPeakBytes() const;
+  size_t TotalCommBytes() const { return fabric_->total_bytes(); }
+  // Converged best-route count across the network (prefix entries; an ECMP
+  // set counts once per route when sharded/spilled, once per prefix when
+  // retained — benchmarks report the same measure across verifiers).
+  size_t TotalBestRoutes() const;
+
+  const topo::PartitionResult& partition() const { return partition_; }
+  const std::optional<cp::ShardPlan>& shard_plan() const { return plan_; }
+  // Per-shard control-plane metrics of the last run (§7 prefix-parallelism
+  // analysis; empty for unsharded runs).
+  const std::vector<ShardMetrics>& shard_metrics() const {
+    return cpo_->shard_metrics();
+  }
+  const config::ParsedNetwork& network() const { return network_; }
+  Worker& worker(size_t index) { return *workers_[index]; }
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  config::ParsedNetwork network_;
+  ControllerOptions options_;
+
+  topo::PartitionResult partition_;
+  std::optional<cp::ShardPlan> plan_;
+  std::unique_ptr<cp::RibStore> store_;
+  std::unique_ptr<SidecarFabric> fabric_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<Cpo> cpo_;
+  std::unique_ptr<Dpo> dpo_;
+
+  // The controller's own BDD domain for verdict computation over gathered
+  // finals.
+  std::unique_ptr<bdd::Manager> gather_manager_;
+};
+
+}  // namespace s2::dist

@@ -1,0 +1,132 @@
+#include "dist/cpo.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace s2::dist {
+
+void RoundMetrics::Add(const RoundMetrics& other) {
+  rounds += other.rounds;
+  wall_seconds += other.wall_seconds;
+  modeled_seconds += other.modeled_seconds;
+  comm_bytes += other.comm_bytes;
+  comm_messages += other.comm_messages;
+}
+
+Cpo::Cpo(std::vector<std::unique_ptr<Worker>>* workers,
+         SidecarFabric* fabric, util::ThreadPool* pool, CostModelParams cost,
+         int max_rounds)
+    : workers_(workers),
+      fabric_(fabric),
+      pool_(pool),
+      cost_(cost),
+      max_rounds_(max_rounds) {}
+
+double Cpo::GcPenalty() const {
+  double worst = 0;
+  for (const auto& worker : *workers_) {
+    worst = std::max(worst,
+                     util::GcPenaltySeconds(worker->tracker(), cost_));
+  }
+  return worst;
+}
+
+RoundMetrics Cpo::RunRounds() {
+  RoundMetrics metrics;
+  util::Stopwatch wall;
+  size_t num_workers = workers_->size();
+  std::vector<char> produced(num_workers, 0);
+  for (;;) {
+    // Phase A (barrier): every worker computes its nodes' round and ships
+    // outboxes through its sidecar.
+    size_t bytes_before = fabric_->total_bytes();
+    pool_->ParallelFor(num_workers, [&](size_t w) {
+      produced[w] = (*workers_)[w]->ComputeAndShip() ? 1 : 0;
+    });
+    double busy_a = 0;
+    bool any = false;
+    for (size_t w = 0; w < num_workers; ++w) {
+      busy_a = std::max(busy_a, (*workers_)[w]->last_phase_seconds());
+      any = any || produced[w];
+    }
+    if (!any) break;  // global fix point
+
+    // Phase B (barrier): deliver and merge.
+    pool_->ParallelFor(num_workers,
+                       [&](size_t w) { (*workers_)[w]->Deliver(); });
+    double busy_b = 0;
+    for (size_t w = 0; w < num_workers; ++w) {
+      busy_b = std::max(busy_b, (*workers_)[w]->last_phase_seconds());
+    }
+    size_t bytes_after = fabric_->total_bytes();
+    metrics.comm_bytes += bytes_after - bytes_before;
+    metrics.modeled_seconds +=
+        busy_a + busy_b +
+        double(bytes_after - bytes_before) / double(num_workers) /
+            cost_.bandwidth_bytes_per_sec +
+        GcPenalty() + cost_.round_latency_seconds;
+    if (++metrics.rounds > max_rounds_) {
+      throw util::SimulatedTimeout(
+          "distributed control plane did not converge within " +
+          std::to_string(metrics.rounds) + " rounds");
+    }
+  }
+  metrics.wall_seconds = wall.ElapsedSeconds();
+  return metrics;
+}
+
+size_t Cpo::MaxWorkerPeakNow() const {
+  size_t peak = 0;
+  for (const auto& worker : *workers_) {
+    peak = std::max(peak, worker->tracker().peak_bytes());
+  }
+  return peak;
+}
+
+RoundMetrics Cpo::Run(bool any_ospf, const cp::ShardPlan* plan,
+                      cp::RibStore* store) {
+  RoundMetrics total;
+  shard_metrics_.clear();
+  observed_peak_ = 0;
+  if (any_ospf) {
+    pool_->ParallelFor(workers_->size(),
+                       [&](size_t w) { (*workers_)[w]->BeginOspf(); });
+    total.Add(RunRounds());
+    pool_->ParallelFor(workers_->size(),
+                       [&](size_t w) { (*workers_)[w]->FinishOspf(); });
+  }
+  if (plan != nullptr) {
+    for (size_t shard = 0; shard < plan->shards.size(); ++shard) {
+      const cp::PrefixSet* prefixes = &plan->shards[shard];
+      // Reset per-worker peaks so the shard's own peak is attributable
+      // (the paper's per-round peak memory, Fig 9).
+      observed_peak_ = std::max(observed_peak_, MaxWorkerPeakNow());
+      for (const auto& worker : *workers_) worker->tracker().ResetPeak();
+      pool_->ParallelFor(workers_->size(), [&](size_t w) {
+        (*workers_)[w]->BeginBgp(prefixes);
+      });
+      ShardMetrics metrics;
+      metrics.rounds = RunRounds();
+      total.Add(metrics.rounds);
+      // End of shard round: spill to persistent storage, freeing worker
+      // memory before the next shard (§4.5).
+      pool_->ParallelFor(workers_->size(), [&](size_t w) {
+        (*workers_)[w]->SpillBgp(*store, static_cast<int>(shard));
+      });
+      metrics.max_worker_peak = MaxWorkerPeakNow();
+      observed_peak_ = std::max(observed_peak_, metrics.max_worker_peak);
+      shard_metrics_.push_back(metrics);
+    }
+  } else {
+    pool_->ParallelFor(workers_->size(),
+                       [&](size_t w) { (*workers_)[w]->BeginBgp(nullptr); });
+    total.Add(RunRounds());
+    pool_->ParallelFor(workers_->size(),
+                       [&](size_t w) { (*workers_)[w]->RetainBgp(); });
+  }
+  return total;
+}
+
+}  // namespace s2::dist

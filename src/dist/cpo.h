@@ -1,0 +1,80 @@
+// Control Plane Orchestrator (paper §3.2/§4.2, Algorithm 1).
+//
+// Schedules protocols in sequence (IGP before EGP), and for BGP runs the
+// distributed fix-point computation one prefix shard at a time. Each round
+// is two barrier-synchronized phases across workers (compute+ship, then
+// deliver+merge); phases run on a thread pool, one task per worker.
+//
+// The CPO also accumulates the cost model's raw measurements: per-round
+// critical-path worker busy time, serialized bytes, and GC-pressure
+// penalties (DESIGN.md §3 — how 1-core hardware reports the parallel
+// time a real deployment would see).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cp/shard.h"
+#include "dist/worker.h"
+#include "util/cost_model.h"
+#include "util/thread_pool.h"
+
+namespace s2::dist {
+
+using CostModelParams = util::CostModelParams;
+
+struct RoundMetrics {
+  int rounds = 0;
+  double wall_seconds = 0;     // real elapsed time on this machine
+  double modeled_seconds = 0;  // Σ_rounds (max_w busy + comm + gc)
+  size_t comm_bytes = 0;       // total sidecar traffic
+  size_t comm_messages = 0;
+
+  void Add(const RoundMetrics& other);
+};
+
+// Metrics of one shard's round set, recorded for the §7 prefix-parallelism
+// analysis: since shards are computationally independent, executing them
+// in parallel (one node replica per shard) would take max-over-shards time
+// at sum-over-shards memory — both derivable from these records.
+struct ShardMetrics {
+  RoundMetrics rounds;
+  size_t max_worker_peak = 0;  // highest per-worker peak within the shard
+};
+
+class Cpo {
+ public:
+  Cpo(std::vector<std::unique_ptr<Worker>>* workers, SidecarFabric* fabric,
+      util::ThreadPool* pool, CostModelParams cost, int max_rounds);
+
+  // Full control-plane simulation: an OSPF pass when any device enables
+  // OSPF, then BGP — one round set per shard of `plan` (spilling converged
+  // results to `store`), or a single unsharded pass retaining results in
+  // the nodes.
+  RoundMetrics Run(bool any_ospf, const cp::ShardPlan* plan,
+                   cp::RibStore* store);
+
+  // Per-shard records of the last Run (empty for unsharded runs).
+  const std::vector<ShardMetrics>& shard_metrics() const {
+    return shard_metrics_;
+  }
+  // Highest per-worker peak observed across the whole run (worker peaks
+  // are reset per shard to attribute them, so callers combine this with
+  // the trackers' current peaks).
+  size_t observed_peak() const { return observed_peak_; }
+
+ private:
+  RoundMetrics RunRounds();
+  double GcPenalty() const;
+  size_t MaxWorkerPeakNow() const;
+
+  std::vector<std::unique_ptr<Worker>>* workers_;
+  SidecarFabric* fabric_;
+  util::ThreadPool* pool_;
+  CostModelParams cost_;
+  int max_rounds_;
+  std::vector<ShardMetrics> shard_metrics_;
+  size_t observed_peak_ = 0;
+};
+
+}  // namespace s2::dist

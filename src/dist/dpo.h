@@ -1,0 +1,43 @@
+// Data Plane Orchestrator (paper §3.2/§4.3).
+//
+// Workflow: first every worker computes FIBs and forwarding/ACL predicates
+// for its nodes in parallel (each in its own BDD manager — the design that
+// gives Fig 10 its predicate-phase speedup), then queries run as rounds of
+// distributed symbolic forwarding: workers forward to local quiescence,
+// cross-worker packets travel serialized through the sidecars, and the
+// round loop continues until no worker moves a packet. Finals are gathered
+// (serialized) into the controller's BDD domain for verdict computation.
+#pragma once
+
+#include "dist/cpo.h"  // CostModelParams, RoundMetrics
+#include "dp/properties.h"
+
+namespace s2::dist {
+
+class Dpo {
+ public:
+  Dpo(std::vector<std::unique_ptr<Worker>>* workers, SidecarFabric* fabric,
+      util::ThreadPool* pool, CostModelParams cost);
+
+  // Parallel FIB + predicate computation (reads spilled RIBs from `store`
+  // when the CP ran sharded).
+  RoundMetrics BuildDataPlanes(const cp::RibStore* store);
+
+  struct QueryRun {
+    RoundMetrics metrics;
+    // Finals re-encoded in the controller's manager via `gather_codec`.
+    std::vector<dp::FinalPacket> finals;
+    size_t gather_bytes = 0;
+  };
+
+  QueryRun RunQuery(const dp::Query& query,
+                    const dp::PacketCodec& gather_codec);
+
+ private:
+  std::vector<std::unique_ptr<Worker>>* workers_;
+  SidecarFabric* fabric_;
+  util::ThreadPool* pool_;
+  CostModelParams cost_;
+};
+
+}  // namespace s2::dist

@@ -1,0 +1,4 @@
+#include "dist/message.h"
+
+// Message is a plain struct; this TU exists so the target has a home for
+// future wire-format evolution (versioning, compression).

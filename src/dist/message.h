@@ -1,0 +1,37 @@
+// Wire messages exchanged between sidecars (paper §3.2).
+//
+// Two kinds cross worker boundaries: batched route updates during control
+// plane simulation and serialized symbolic packets during data plane
+// verification. Payloads are real serialized bytes (cp/route.cc wire
+// format, bdd/bdd_io.cc wire format) so the cost the paper attributes to
+// cross-worker communication — serialization + deserialization — is
+// actually paid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace s2::dist {
+
+enum class MessageType : uint8_t { kRouteUpdates, kSymbolicPacket };
+
+struct Message {
+  MessageType type = MessageType::kRouteUpdates;
+  topo::NodeId to_node = topo::kInvalidNode;
+  topo::NodeId from_node = topo::kInvalidNode;
+  // Symbolic packets carry their injection source and hop count alongside
+  // the serialized BDD.
+  topo::NodeId packet_src = topo::kInvalidNode;
+  int packet_hops = 0;
+  // Node path of the packet so far (path-recording queries only).
+  std::vector<topo::NodeId> packet_path;
+  std::vector<uint8_t> payload;
+
+  size_t WireBytes() const {
+    return 24 + payload.size() + 4 * packet_path.size();
+  }
+};
+
+}  // namespace s2::dist

@@ -1,0 +1,24 @@
+#include "dist/shadow.h"
+
+namespace s2::dist {
+
+void ShadowNode::Deliver(topo::NodeId local,
+                         std::vector<cp::RouteUpdate> updates) {
+  auto& box = inbox_[local];
+  if (box.empty()) {
+    box = std::move(updates);
+  } else {
+    box.insert(box.end(), std::make_move_iterator(updates.begin()),
+               std::make_move_iterator(updates.end()));
+  }
+}
+
+std::vector<cp::RouteUpdate> ShadowNode::TakeUpdatesFor(topo::NodeId local) {
+  auto it = inbox_.find(local);
+  if (it == inbox_.end()) return {};
+  std::vector<cp::RouteUpdate> updates = std::move(it->second);
+  inbox_.erase(it);
+  return updates;
+}
+
+}  // namespace s2::dist

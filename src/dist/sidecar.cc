@@ -1,0 +1,59 @@
+#include "dist/sidecar.h"
+
+namespace s2::dist {
+
+SidecarFabric::SidecarFabric(uint32_t num_workers,
+                             std::vector<uint32_t> assignment)
+    : num_workers_(num_workers),
+      assignment_(std::move(assignment)),
+      queues_(num_workers),
+      bytes_sent_(num_workers, 0),
+      messages_sent_(num_workers, 0) {}
+
+void SidecarFabric::Send(uint32_t from_worker, Message message) {
+  uint32_t to_worker = WorkerOf(message.to_node);
+  std::lock_guard<std::mutex> lock(mutex_);
+  bytes_sent_[from_worker] += message.WireBytes();
+  messages_sent_[from_worker] += 1;
+  queues_[to_worker].push_back(std::move(message));
+}
+
+std::vector<Message> SidecarFabric::Drain(uint32_t worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Message> out = std::move(queues_[worker]);
+  queues_[worker].clear();
+  return out;
+}
+
+bool SidecarFabric::HasPending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& queue : queues_) {
+    if (!queue.empty()) return true;
+  }
+  return false;
+}
+
+size_t SidecarFabric::bytes_sent_by(uint32_t worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_sent_[worker];
+}
+
+size_t SidecarFabric::messages_sent_by(uint32_t worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return messages_sent_[worker];
+}
+
+size_t SidecarFabric::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (size_t b : bytes_sent_) total += b;
+  return total;
+}
+
+void SidecarFabric::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bytes_sent_.assign(num_workers_, 0);
+  messages_sent_.assign(num_workers_, 0);
+}
+
+}  // namespace s2::dist

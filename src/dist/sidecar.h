@@ -1,0 +1,53 @@
+// Sidecars (paper §3.2): the communication fabric between workers.
+//
+// Each worker (and the controller) owns a sidecar; every sidecar holds the
+// node->worker assignment so a message addressed to a node is routed to
+// the worker hosting it. This in-process stand-in for the paper's
+// RPC-connected sidecar processes keeps the observable contract: messages
+// are serialized bytes, queues are drained at phase boundaries, and
+// per-worker sent/received byte counters feed the cost model
+// (DESIGN.md substitution S3).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "dist/message.h"
+
+namespace s2::dist {
+
+class SidecarFabric {
+ public:
+  // `assignment[node]` = worker index hosting that node.
+  SidecarFabric(uint32_t num_workers, std::vector<uint32_t> assignment);
+
+  uint32_t num_workers() const { return num_workers_; }
+  uint32_t WorkerOf(topo::NodeId node) const { return assignment_[node]; }
+
+  // Routes `message` to the sidecar of the worker hosting its to_node.
+  // Thread-safe: workers send concurrently during parallel phases.
+  void Send(uint32_t from_worker, Message message);
+
+  // Drains the inbound queue of `worker`.
+  std::vector<Message> Drain(uint32_t worker);
+
+  // True if any queue holds undelivered messages.
+  bool HasPending() const;
+
+  size_t bytes_sent_by(uint32_t worker) const;
+  size_t messages_sent_by(uint32_t worker) const;
+  size_t total_bytes() const;
+
+  // Resets the per-worker counters (between phases/experiments).
+  void ResetCounters();
+
+ private:
+  uint32_t num_workers_;
+  std::vector<uint32_t> assignment_;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<Message>> queues_;       // per receiving worker
+  std::vector<size_t> bytes_sent_;                 // per sending worker
+  std::vector<size_t> messages_sent_;
+};
+
+}  // namespace s2::dist

@@ -1,0 +1,212 @@
+#include "dist/worker.h"
+
+#include "bdd/bdd_io.h"
+#include "dp/fib.h"
+
+namespace s2::dist {
+
+Worker::Worker(uint32_t index, const config::ParsedNetwork& network,
+               SidecarFabric* fabric, Options options)
+    : index_(index),
+      network_(&network),
+      fabric_(fabric),
+      options_(options),
+      tracker_("worker-" + std::to_string(index), options.memory_budget) {
+  for (topo::NodeId id = 0; id < network.configs.size(); ++id) {
+    if (fabric_->WorkerOf(id) == index_) {
+      local_.push_back(id);
+      nodes_.emplace(id, std::make_unique<cp::Node>(id, network, &tracker_));
+    }
+  }
+  // Shadow every remote switch adjacent to a local one.
+  for (topo::NodeId id : local_) {
+    for (const cp::Node::Session& session : nodes_.at(id)->sessions()) {
+      if (!IsLocal(session.peer) && !shadows_.count(session.peer)) {
+        shadows_.emplace(session.peer, ShadowNode(session.peer));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- control plane
+
+void Worker::BeginOspf() {
+  for (topo::NodeId id : local_) nodes_.at(id)->BeginOspf();
+}
+
+void Worker::FinishOspf() {
+  for (topo::NodeId id : local_) nodes_.at(id)->FinishOspf();
+}
+
+void Worker::BeginBgp(const cp::PrefixSet* shard) {
+  for (topo::NodeId id : local_) nodes_.at(id)->BeginBgp(shard);
+}
+
+bool Worker::ComputeAndShip() {
+  util::Stopwatch watch;
+  bool any = false;
+  for (topo::NodeId id : local_) {
+    any = nodes_.at(id)->ComputeRound() || any;
+  }
+  // Ship outboxes: local deliveries are buffered for phase B; remote ones
+  // are serialized and sent through the sidecar.
+  for (topo::NodeId id : local_) {
+    cp::Node& node = *nodes_.at(id);
+    for (const cp::Node::Session& session : node.sessions()) {
+      std::vector<cp::RouteUpdate> updates =
+          node.TakeUpdatesFor(session.peer);
+      if (updates.empty()) continue;
+      if (IsLocal(session.peer)) {
+        auto& box = local_pending_[{session.peer, id}];
+        box.insert(box.end(), std::make_move_iterator(updates.begin()),
+                   std::make_move_iterator(updates.end()));
+      } else {
+        Message message;
+        message.type = MessageType::kRouteUpdates;
+        message.to_node = session.peer;
+        message.from_node = id;
+        cp::SerializeRoutes(updates, message.payload);
+        fabric_->Send(index_, std::move(message));
+      }
+    }
+  }
+  last_phase_seconds_ = watch.ElapsedSeconds();
+  return any;
+}
+
+void Worker::Deliver() {
+  util::Stopwatch watch;
+  for (Message& message : fabric_->Drain(index_)) {
+    shadows_.at(message.from_node)
+        .Deliver(message.to_node, cp::DeserializeRoutes(message.payload));
+  }
+  // Every local node pulls from each neighbor, agnostic of whether the
+  // neighbor is a real node (same worker) or a shadow (paper Alg. 1).
+  for (topo::NodeId id : local_) {
+    cp::Node& node = *nodes_.at(id);
+    for (const cp::Node::Session& session : node.sessions()) {
+      std::vector<cp::RouteUpdate> updates;
+      if (IsLocal(session.peer)) {
+        auto it = local_pending_.find({id, session.peer});
+        if (it != local_pending_.end()) {
+          updates = std::move(it->second);
+          local_pending_.erase(it);
+        }
+      } else {
+        updates = shadows_.at(session.peer).TakeUpdatesFor(id);
+      }
+      if (!updates.empty()) node.ReceiveUpdates(session.peer, updates);
+    }
+  }
+  last_phase_seconds_ += watch.ElapsedSeconds();
+}
+
+void Worker::SpillBgp(cp::RibStore& store, int shard) {
+  for (topo::NodeId id : local_) nodes_.at(id)->SpillBgp(store, shard);
+}
+
+void Worker::RetainBgp() {
+  for (topo::NodeId id : local_) nodes_.at(id)->RetainBgp();
+}
+
+// ------------------------------------------------------------- data plane
+
+void Worker::BuildDataPlane(const cp::RibStore* store) {
+  util::Stopwatch watch;
+  bdd::Manager::Options bdd_options;
+  bdd_options.max_nodes = options_.max_bdd_nodes;
+  bdd_options.tracker = &tracker_;
+  manager_ = std::make_unique<bdd::Manager>(options_.layout.total_bits(),
+                                            bdd_options);
+  dp::PacketCodec codec(manager_.get(), options_.layout);
+  dp::ForwardingEngine::Options engine_options;
+  engine_options.max_hops = options_.max_hops;
+  engine_ =
+      std::make_unique<dp::ForwardingEngine>(codec, engine_options);
+  for (topo::NodeId id : local_) {
+    const cp::Node& node = *nodes_.at(id);
+    std::map<util::Ipv4Prefix, std::vector<cp::Route>> from_store;
+    const auto* bgp = &node.bgp_routes();
+    if (store != nullptr) {
+      from_store = store->ReadAll(id);
+      bgp = &from_store;
+    }
+    dp::Fib fib = dp::Fib::Build(*network_, id, *bgp, node.ospf_routes(),
+                                 &tracker_);
+    fib_bytes_ += fib.EstimateBytes();
+    engine_->AddNode(id, dp::BuildPredicates(*network_, id, fib, codec));
+  }
+  predicate_seconds_ += watch.ElapsedSeconds();
+  last_phase_seconds_ = watch.ElapsedSeconds();
+}
+
+void Worker::PrepareQuery(const dp::Query& query) {
+  engine_->ResetQueryState();
+  engine_->set_record_paths(query.record_paths);
+  for (size_t i = 0; i < query.transits.size(); ++i) {
+    if (IsLocal(query.transits[i])) {
+      engine_->SetWaypointBit(query.transits[i],
+                              static_cast<uint32_t>(i));
+    }
+  }
+  bdd::Bdd header_space = query.header_space.ToBdd(engine_->codec());
+  for (topo::NodeId src : query.sources) {
+    if (IsLocal(src)) engine_->Inject(src, header_space);
+  }
+}
+
+bool Worker::ForwardRound() {
+  util::Stopwatch watch;
+  bool any = false;
+  for (Message& message : fabric_->Drain(index_)) {
+    dp::InFlightPacket packet;
+    packet.at = message.to_node;
+    packet.from = message.from_node;
+    packet.src = message.packet_src;
+    packet.hops = message.packet_hops;
+    packet.path = std::move(message.packet_path);
+    packet.set = bdd::DeserializeInto(*manager_, message.payload);
+    engine_->Accept(std::move(packet));
+    any = true;
+  }
+  size_t steps_before = engine_->steps();
+  engine_->Run([this](const dp::InFlightPacket& packet) {
+    Message message;
+    message.type = MessageType::kSymbolicPacket;
+    message.to_node = packet.at;
+    message.from_node = packet.from;
+    message.packet_src = packet.src;
+    message.packet_hops = packet.hops;
+    message.packet_path = packet.path;
+    message.payload = bdd::Serialize(packet.set);
+    fabric_->Send(index_, std::move(message));
+  });
+  last_phase_seconds_ = watch.ElapsedSeconds();
+  return any || engine_->steps() != steps_before;
+}
+
+std::vector<SerializedFinal> Worker::TakeFinals() {
+  std::vector<SerializedFinal> out;
+  out.reserve(engine_->finals().size());
+  for (const dp::FinalPacket& final : engine_->finals()) {
+    SerializedFinal serialized;
+    serialized.src = final.src;
+    serialized.node = final.node;
+    serialized.state = final.state;
+    serialized.path = final.path;
+    serialized.set = bdd::Serialize(final.set);
+    out.push_back(std::move(serialized));
+  }
+  return out;
+}
+
+void Worker::ResetDataPlane() {
+  engine_.reset();
+  manager_.reset();
+  if (fib_bytes_ > 0) {
+    tracker_.Release(fib_bytes_);
+    fib_bytes_ = 0;
+  }
+}
+
+}  // namespace s2::dist

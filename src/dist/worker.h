@@ -1,0 +1,129 @@
+// A worker: one segment of the network plus the machinery to simulate and
+// verify it (paper §3.2, "Workers").
+//
+// Control plane: real cp::Node objects for assigned switches, ShadowNodes
+// for remote neighbors; synchronous phases driven by the CPO with all
+// cross-worker traffic flowing through the sidecar fabric as serialized
+// bytes.
+//
+// Data plane: a private BDD manager and ForwardingEngine; symbolic packets
+// crossing workers are serialized with bdd_io and re-encoded on arrival
+// (§4.3, option 2: per-worker node tables).
+//
+// Every byte of control- and data-plane state a worker holds is charged to
+// its own MemoryTracker, whose budget makes per-worker OOM observable.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "cp/engine.h"
+#include "dist/shadow.h"
+#include "dist/sidecar.h"
+#include "dp/forwarding.h"
+#include "dp/properties.h"
+#include "util/stopwatch.h"
+
+namespace s2::dist {
+
+// A final packet in transit back to the controller (BDD serialized).
+struct SerializedFinal {
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId node = topo::kInvalidNode;
+  dp::FinalState state = dp::FinalState::kArrive;
+  std::vector<topo::NodeId> path;  // path-recording queries only
+  std::vector<uint8_t> set;
+
+  size_t WireBytes() const { return 16 + set.size() + 4 * path.size(); }
+};
+
+class Worker {
+ public:
+  struct Options {
+    size_t memory_budget = 0;   // bytes; 0 = unlimited
+    size_t max_bdd_nodes = 0;   // 0 = unbounded node table
+    dp::HeaderLayout layout;
+    int max_hops = 24;
+  };
+
+  Worker(uint32_t index, const config::ParsedNetwork& network,
+         SidecarFabric* fabric, Options options);
+
+  uint32_t index() const { return index_; }
+  util::MemoryTracker& tracker() { return tracker_; }
+  const std::vector<topo::NodeId>& local_nodes() const { return local_; }
+  bool IsLocal(topo::NodeId id) const {
+    return fabric_->WorkerOf(id) == index_;
+  }
+
+  // ------------------------------------------------- control plane (CPO)
+  void BeginOspf();
+  void FinishOspf();
+  void BeginBgp(const cp::PrefixSet* shard);
+
+  // Phase A: one ComputeRound per local node, then ship every outbox entry
+  // (local ones are buffered, remote ones serialized through the sidecar).
+  // Returns true if any node produced updates.
+  bool ComputeAndShip();
+
+  // Phase B: drain the sidecar into shadow nodes, then let every local
+  // node pull from each neighbor — real or shadow — identically.
+  void Deliver();
+
+  void SpillBgp(cp::RibStore& store, int shard);
+  void RetainBgp();
+
+  // --------------------------------------------------- data plane (DPO)
+  // Builds FIBs and port predicates for local nodes. Reads converged BGP
+  // routes from `store` when sharding spilled them, else from the nodes.
+  void BuildDataPlane(const cp::RibStore* store);
+
+  // Installs a query: waypoint write rules and injections at local
+  // sources. Clears any previous query's runtime state.
+  void PrepareQuery(const dp::Query& query);
+
+  // One forwarding round: accept serialized packets from the sidecar, run
+  // the local engine to quiescence, emit cross-worker packets. Returns
+  // true if anything was processed.
+  bool ForwardRound();
+
+  // Drains final packets, serialized for the controller.
+  std::vector<SerializedFinal> TakeFinals();
+
+  // Frees data-plane state (between experiments).
+  void ResetDataPlane();
+
+  // ------------------------------------------------------------- metrics
+  // Wall time this worker spent computing in the last phase call.
+  double last_phase_seconds() const { return last_phase_seconds_; }
+  // Cumulative predicate-computation time (Fig 10's first phase).
+  double predicate_seconds() const { return predicate_seconds_; }
+  size_t forwarding_steps() const {
+    return engine_ ? engine_->steps() : 0;
+  }
+  const cp::Node& node(topo::NodeId id) const { return *nodes_.at(id); }
+
+ private:
+  uint32_t index_;
+  const config::ParsedNetwork* network_;
+  SidecarFabric* fabric_;
+  Options options_;
+  util::MemoryTracker tracker_;
+
+  std::vector<topo::NodeId> local_;
+  std::unordered_map<topo::NodeId, std::unique_ptr<cp::Node>> nodes_;
+  std::unordered_map<topo::NodeId, ShadowNode> shadows_;
+  // Buffered same-worker deliveries of the current round: (to, from).
+  std::map<std::pair<topo::NodeId, topo::NodeId>,
+           std::vector<cp::RouteUpdate>>
+      local_pending_;
+
+  std::unique_ptr<bdd::Manager> manager_;
+  std::unique_ptr<dp::ForwardingEngine> engine_;
+  size_t fib_bytes_ = 0;
+
+  double last_phase_seconds_ = 0;
+  double predicate_seconds_ = 0;
+};
+
+}  // namespace s2::dist

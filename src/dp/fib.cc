@@ -1,0 +1,84 @@
+#include "dp/fib.h"
+
+#include <algorithm>
+
+namespace s2::dp {
+
+namespace {
+
+FibAction ClassifyLocal(const config::ViConfig& config,
+                        const util::Ipv4Prefix& prefix) {
+  for (const util::Ipv4Prefix& network : config.bgp.networks) {
+    if (network == prefix) return FibAction::kArrive;
+  }
+  for (const config::BgpCondAdv& cond : config.bgp.cond_advs) {
+    if (cond.advertise == prefix) return FibAction::kExit;
+  }
+  for (const config::BgpAggregate& agg : config.bgp.aggregates) {
+    if (agg.prefix == prefix) return FibAction::kDiscard;
+  }
+  return FibAction::kArrive;  // OSPF loopback / connected
+}
+
+}  // namespace
+
+size_t Fib::EstimateBytes() const {
+  size_t bytes = 0;
+  for (const FibEntry& entry : entries) bytes += entry.EstimateBytes();
+  return bytes;
+}
+
+Fib Fib::Build(
+    const config::ParsedNetwork& network, topo::NodeId self,
+    const std::map<util::Ipv4Prefix, std::vector<cp::Route>>& bgp,
+    const std::map<util::Ipv4Prefix, std::vector<cp::Route>>& ospf,
+    util::MemoryTracker* tracker) {
+  const config::ViConfig& config = network.configs[self];
+
+  // Merge protocols by admin distance per prefix.
+  std::map<util::Ipv4Prefix, const std::vector<cp::Route>*> chosen;
+  for (const auto& [prefix, routes] : bgp) chosen[prefix] = &routes;
+  for (const auto& [prefix, routes] : ospf) {
+    auto it = chosen.find(prefix);
+    if (it == chosen.end() ||
+        cp::AdminDistance(routes.front().protocol) <
+            cp::AdminDistance(it->second->front().protocol)) {
+      chosen[prefix] = &routes;
+    }
+  }
+
+  Fib fib;
+  bool have_loopback = false;
+  for (const auto& [prefix, routes] : chosen) {
+    FibEntry entry;
+    entry.prefix = prefix;
+    if (routes->front().learned_from == topo::kInvalidNode) {
+      entry.action = ClassifyLocal(config, prefix);
+    } else {
+      entry.action = FibAction::kForward;
+      for (const cp::Route& route : *routes) {
+        if (std::find(entry.next_hops.begin(), entry.next_hops.end(),
+                      route.learned_from) == entry.next_hops.end()) {
+          entry.next_hops.push_back(route.learned_from);
+        }
+      }
+    }
+    if (prefix == config.loopback) have_loopback = true;
+    fib.entries.push_back(std::move(entry));
+  }
+  if (!have_loopback) {
+    fib.entries.push_back(FibEntry{config.loopback, FibAction::kArrive, {}});
+  }
+
+  std::sort(fib.entries.begin(), fib.entries.end(),
+            [](const FibEntry& a, const FibEntry& b) {
+              if (a.prefix.length() != b.prefix.length()) {
+                return a.prefix.length() > b.prefix.length();
+              }
+              return a.prefix < b.prefix;
+            });
+  if (tracker) tracker->Charge(fib.EstimateBytes());
+  return fib;
+}
+
+}  // namespace s2::dp

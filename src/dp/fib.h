@@ -1,0 +1,53 @@
+// FIB construction: converged RIBs -> forwarding entries (paper §3.3,
+// "real nodes convert their RIBs into FIBs").
+//
+// Protocols merge by admin distance per prefix; each entry resolves to a
+// forwarding action:
+//   kForward  to one or more ECMP next-hop devices
+//   kArrive   locally announced (network statement / loopback) — the
+//             packet reached its destination
+//   kExit     conditionally advertised edge prefixes (default route at a
+//             border): the packet leaves the modeled network
+//   kDiscard  locally originated aggregates resolve to Null0 — covered
+//             packets without a more-specific route blackhole, as on real
+//             devices
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "config/parser.h"
+#include "cp/route.h"
+#include "util/memory_tracker.h"
+
+namespace s2::dp {
+
+enum class FibAction : uint8_t { kForward, kArrive, kExit, kDiscard };
+
+struct FibEntry {
+  util::Ipv4Prefix prefix;
+  FibAction action = FibAction::kForward;
+  std::vector<topo::NodeId> next_hops;  // kForward only
+
+  size_t EstimateBytes() const { return 48 + 8 * next_hops.size(); }
+};
+
+struct Fib {
+  // Longest prefix first; ties by address. Predicate construction walks
+  // this order to build first-match (LPM) port predicates.
+  std::vector<FibEntry> entries;
+
+  // Builds the FIB of device `self` from its converged per-protocol
+  // results (BGP best map, OSPF best map) plus connected/loopback routes
+  // from the config. Charges entry bytes to `tracker` (released by the
+  // caller domain when it drops the FIB).
+  static Fib Build(
+      const config::ParsedNetwork& network, topo::NodeId self,
+      const std::map<util::Ipv4Prefix, std::vector<cp::Route>>& bgp,
+      const std::map<util::Ipv4Prefix, std::vector<cp::Route>>& ospf,
+      util::MemoryTracker* tracker);
+
+  size_t EstimateBytes() const;
+};
+
+}  // namespace s2::dp

@@ -1,0 +1,37 @@
+#include "dp/packet.h"
+
+#include <cstdlib>
+
+namespace s2::dp {
+
+bdd::Bdd PacketCodec::DstIn(const util::Ipv4Prefix& prefix) const {
+  if (layout_.dst_bits != 32) std::abort();
+  return manager_->MaskedMatch(layout_.DstVar(0), 32,
+                               prefix.address().bits(), prefix.Mask());
+}
+
+bdd::Bdd PacketCodec::SrcIn(const util::Ipv4Prefix& prefix) const {
+  if (layout_.src_bits != 32) std::abort();
+  return manager_->MaskedMatch(layout_.SrcVar(0), 32,
+                               prefix.address().bits(), prefix.Mask());
+}
+
+bdd::Bdd PacketCodec::MetaBit(uint32_t i, bool value) const {
+  uint32_t var = layout_.MetaVar(i);
+  return value ? manager_->Var(var) : manager_->NotVar(var);
+}
+
+bdd::Bdd PacketCodec::SetMetaBit(const bdd::Bdd& packet, uint32_t i) const {
+  uint32_t var = layout_.MetaVar(i);
+  bdd::Bdd forgotten = manager_->Exists(packet, {var});
+  return forgotten & manager_->Var(var);
+}
+
+bdd::Bdd HeaderSpaceSpec::ToBdd(const PacketCodec& codec) const {
+  bdd::Bdd result = codec.manager()->One();
+  if (dst) result &= codec.DstIn(*dst);
+  if (src) result &= codec.SrcIn(*src);
+  return result;
+}
+
+}  // namespace s2::dp

@@ -1,0 +1,62 @@
+// Packet header layout and symbolic-packet helpers (paper §4.3).
+//
+// A header is a bit vector; a symbolic packet is a BDD over one boolean
+// variable per header bit. The paper uses 104 bits of 5-tuple plus m
+// metadata (waypoint) bits; this implementation makes the layout
+// configurable and defaults to dst(32) + m — enough for every evaluated
+// property — with optional src bits for ACL-heavy scenarios
+// (DESIGN.md substitution S9).
+#pragma once
+
+#include "bdd/bdd.h"
+#include "util/ip.h"
+
+namespace s2::dp {
+
+struct HeaderLayout {
+  uint32_t dst_bits = 32;
+  uint32_t src_bits = 0;
+  uint32_t meta_bits = 0;  // one per waypoint of interest
+
+  uint32_t total_bits() const { return dst_bits + src_bits + meta_bits; }
+  uint32_t DstVar(uint32_t i) const { return i; }               // MSB first
+  uint32_t SrcVar(uint32_t i) const { return dst_bits + i; }    // MSB first
+  uint32_t MetaVar(uint32_t i) const { return dst_bits + src_bits + i; }
+};
+
+// Header-space predicate construction bound to one BDD manager (each
+// worker has its own manager; specs are re-encoded per domain).
+class PacketCodec {
+ public:
+  PacketCodec(bdd::Manager* manager, HeaderLayout layout)
+      : manager_(manager), layout_(layout) {}
+
+  bdd::Manager* manager() const { return manager_; }
+  const HeaderLayout& layout() const { return layout_; }
+
+  // Packets whose destination lies in `prefix`.
+  bdd::Bdd DstIn(const util::Ipv4Prefix& prefix) const;
+  // Packets whose source lies in `prefix` (requires src_bits == 32).
+  bdd::Bdd SrcIn(const util::Ipv4Prefix& prefix) const;
+  // The predicate "metadata bit i == value".
+  bdd::Bdd MetaBit(uint32_t i, bool value) const;
+
+  // The waypoint write rule: forces metadata bit i to 1 in `packet`
+  // (existentially quantifies the old value, then constrains).
+  bdd::Bdd SetMetaBit(const bdd::Bdd& packet, uint32_t i) const;
+
+ private:
+  bdd::Manager* manager_;
+  HeaderLayout layout_;
+};
+
+// A declarative header-space spec, shippable across domains (unlike a
+// BDD handle): the conjunction of optional dst/src prefix constraints.
+struct HeaderSpaceSpec {
+  std::optional<util::Ipv4Prefix> dst;
+  std::optional<util::Ipv4Prefix> src;
+
+  bdd::Bdd ToBdd(const PacketCodec& codec) const;
+};
+
+}  // namespace s2::dp

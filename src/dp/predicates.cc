@@ -1,0 +1,88 @@
+#include "dp/predicates.h"
+
+namespace s2::dp {
+
+bdd::Bdd AclPredicate(const config::Acl& acl, const PacketCodec& codec) {
+  bdd::Manager* manager = codec.manager();
+  bdd::Bdd permitted = manager->Zero();
+  bdd::Bdd unmatched = manager->One();
+  for (const config::AclEntry& entry : acl.entries) {
+    bdd::Bdd match = manager->One();
+    if (entry.dst) match &= codec.DstIn(*entry.dst);
+    if (entry.src) {
+      // Source matching requires src bits in the layout; an entry with a
+      // src constraint under a dst-only layout matches nothing (the
+      // header space under analysis carries no source information).
+      if (codec.layout().src_bits == 32) {
+        match &= codec.SrcIn(*entry.src);
+      } else {
+        match = manager->Zero();
+      }
+    }
+    bdd::Bdd firing = match & unmatched;  // first match wins
+    if (entry.permit) permitted |= firing;
+    unmatched = unmatched.Diff(match);
+  }
+  return permitted;
+}
+
+NodePredicates BuildPredicates(const config::ParsedNetwork& network,
+                               topo::NodeId self, const Fib& fib,
+                               const PacketCodec& codec) {
+  bdd::Manager* manager = codec.manager();
+  const config::ViConfig& config = network.configs[self];
+
+  NodePredicates preds;
+  preds.arrive = manager->Zero();
+  preds.exit = manager->Zero();
+  preds.discard = manager->Zero();
+
+  // LPM scan: entries are sorted longest-first; each entry claims the part
+  // of the destination space no longer entry claimed before it.
+  bdd::Bdd unmatched = manager->One();
+  for (const FibEntry& entry : fib.entries) {
+    if (unmatched.IsZero()) break;
+    bdd::Bdd match = codec.DstIn(entry.prefix) & unmatched;
+    if (match.IsZero()) continue;
+    unmatched = unmatched.Diff(match);
+    switch (entry.action) {
+      case FibAction::kForward:
+        for (topo::NodeId hop : entry.next_hops) {
+          auto it = preds.forward.find(hop);
+          if (it == preds.forward.end()) {
+            preds.forward.emplace(hop, match);
+          } else {
+            it->second |= match;
+          }
+        }
+        break;
+      case FibAction::kArrive:
+        preds.arrive |= match;
+        break;
+      case FibAction::kExit:
+        preds.exit |= match;
+        break;
+      case FibAction::kDiscard:
+        preds.discard |= match;
+        break;
+    }
+  }
+  // Destinations with no route at all blackhole here.
+  preds.discard |= unmatched;
+
+  // ACL predicates per neighbor port.
+  for (const config::Interface& iface : config.interfaces) {
+    auto port = network.address_book.find(iface.address.bits() ^ 1u);
+    if (port == network.address_book.end()) continue;
+    topo::NodeId peer = port->second.first;
+    if (const config::Acl* acl = config.FindAcl(iface.acl_in)) {
+      preds.acl_in.emplace(peer, AclPredicate(*acl, codec));
+    }
+    if (const config::Acl* acl = config.FindAcl(iface.acl_out)) {
+      preds.acl_out.emplace(peer, AclPredicate(*acl, codec));
+    }
+  }
+  return preds;
+}
+
+}  // namespace s2::dp

@@ -1,0 +1,40 @@
+// Port predicate computation (paper §4.3, "pre-computing predicates").
+//
+// For each device the FIB induces, via longest-prefix-match order, a
+// partition of the destination space into: per-neighbor forwarding
+// predicates, an arrive predicate, an exit predicate, and a discard
+// predicate (aggregate Null0 + no-route). ACLs induce per-port in/out
+// permit predicates. All BDDs live in the owning domain's manager — S2's
+// one-table-per-worker design.
+#pragma once
+
+#include <unordered_map>
+
+#include "config/parser.h"
+#include "dp/fib.h"
+#include "dp/packet.h"
+
+namespace s2::dp {
+
+struct NodePredicates {
+  // Packets forwarded toward each neighbor device (p^fwd per port).
+  std::unordered_map<topo::NodeId, bdd::Bdd> forward;
+  bdd::Bdd arrive;    // delivered here
+  bdd::Bdd exit;      // leaves the modeled network here
+  bdd::Bdd discard;   // dropped: aggregate Null0 or no matching route
+  // ACL permit predicates per neighbor port (p^in / p^out); ports without
+  // an ACL get True.
+  std::unordered_map<topo::NodeId, bdd::Bdd> acl_in;
+  std::unordered_map<topo::NodeId, bdd::Bdd> acl_out;
+};
+
+// Builds the predicates of device `self` from its FIB within `codec`'s
+// manager. `network` resolves neighbor ports and ACLs.
+NodePredicates BuildPredicates(const config::ParsedNetwork& network,
+                               topo::NodeId self, const Fib& fib,
+                               const PacketCodec& codec);
+
+// The permit predicate of an ACL (first-match-wins; no-match = deny).
+bdd::Bdd AclPredicate(const config::Acl& acl, const PacketCodec& codec);
+
+}  // namespace s2::dp

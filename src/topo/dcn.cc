@@ -1,0 +1,261 @@
+#include "topo/dcn.h"
+
+#include <cstdlib>
+
+namespace s2::topo {
+
+namespace {
+
+// Same-layer switches share an ASN (§2.3). Fabric layers use private ASNs
+// so the border's remove-private-as policy has something to strip.
+constexpr uint32_t kLayerAsnBase = 64512;  // layer L -> 64512 + L
+constexpr uint32_t kCoreAsn = 64600;
+constexpr uint32_t kBorderAsn = 60000;  // public
+
+struct Builder {
+  Network net;
+  const DcnParams& params;
+
+  explicit Builder(const DcnParams& p) : params(p) {}
+
+  NodeId AddSwitch(const std::string& name, Role role, int layer,
+                   int cluster, uint32_t asn) {
+    NodeId id = net.graph.AddNode(NodeInfo{name, role, layer, cluster, 1.0});
+    net.intents.resize(net.graph.size());
+    NodeIntent& intent = net.intents[id];
+    intent.asn = asn;
+    intent.vendor = (params.mixed_vendors && id % 2 == 1) ? Vendor::kBeta
+                                                          : Vendor::kAlpha;
+    // Loopbacks: cluster c uses 172.(16+c).0.0/16; cores and borders use
+    // 172.30.0.0/16. Index within the space is the global node id (dense
+    // enough at synthesis scale).
+    uint32_t second = cluster >= 0 ? uint32_t(16 + cluster) : 30u;
+    intent.loopback = util::Ipv4Prefix(
+        util::Ipv4Address((172u << 24) | (second << 16) | id), 32);
+    intent.announced.push_back(intent.loopback);
+    return id;
+  }
+};
+
+// Full bipartite links between two layers of switches.
+void Connect(Graph& graph, const std::vector<NodeId>& lower,
+             const std::vector<NodeId>& upper) {
+  for (NodeId l : lower) {
+    for (NodeId u : upper) graph.AddEdge(l, u);
+  }
+}
+
+}  // namespace
+
+Network MakeDcn(const DcnParams& params) {
+  Builder b(params);
+  b.net.name = "DCN";
+  Graph& graph = b.net.graph;
+
+  const int n_clusters = params.small_clusters + params.big_clusters;
+  if (n_clusters > 8) std::abort();  // loopback space allows 8 clusters
+
+  std::vector<std::vector<NodeId>> cluster_tops(n_clusters);
+  std::vector<std::vector<NodeId>> cluster_tors(n_clusters);
+
+  // --- clusters ---------------------------------------------------------
+  for (int c = 0; c < n_clusters; ++c) {
+    const bool big = c >= params.small_clusters;
+    const std::string cname = "c" + std::to_string(c);
+    int tor_counter = 0;
+
+    std::vector<NodeId> pod_tops;  // highest pod-local layer per pod
+    for (int p = 0; p < params.pods_per_cluster; ++p) {
+      const std::string pname = cname + "p" + std::to_string(p);
+      std::vector<NodeId> tors, leafs;
+      for (int t = 0; t < params.tors_per_pod; ++t) {
+        NodeId id = b.AddSwitch(pname + "-tor" + std::to_string(t),
+                                Role::kEdge, 0, c, kLayerAsnBase + 0);
+        // Each TOR announces one business (VLAN) /24: 10.c.t.0/24.
+        b.net.intents[id].announced.push_back(util::Ipv4Prefix(
+            util::Ipv4Address((10u << 24) | (uint32_t(c) << 16) |
+                              (uint32_t(tor_counter) << 8)),
+            24));
+        ++tor_counter;
+        b.net.intents[id].max_ecmp_paths = 16;
+        tors.push_back(id);
+        cluster_tors[c].push_back(id);
+      }
+      for (int l = 0; l < params.leafs_per_pod; ++l) {
+        NodeId id = b.AddSwitch(pname + "-leaf" + std::to_string(l),
+                                Role::kAggregation, 1, c, kLayerAsnBase + 1);
+        b.net.intents[id].max_ecmp_paths = 32;
+        leafs.push_back(id);
+      }
+      Connect(graph, tors, leafs);
+
+      if (big) {
+        // Big clusters interpose a pod-spine layer (L2) between pod leafs
+        // and the cluster-wide fabric.
+        std::vector<NodeId> podspines;
+        for (int s = 0; s < params.leafs_per_pod; ++s) {
+          NodeId id =
+              b.AddSwitch(pname + "-pspine" + std::to_string(s),
+                          Role::kAggregation, 2, c, kLayerAsnBase + 2);
+          podspines.push_back(id);
+        }
+        Connect(graph, leafs, podspines);
+        for (NodeId id : podspines) pod_tops.push_back(id);
+      } else {
+        for (NodeId id : leafs) pod_tops.push_back(id);
+      }
+    }
+
+    // Cluster top layer: L2 spines for small clusters, L3 fabrics + L4
+    // spines for big ones.
+    std::vector<NodeId> tops;
+    if (big) {
+      std::vector<NodeId> fabrics;
+      for (int f = 0; f < params.fabrics_per_cluster; ++f) {
+        fabrics.push_back(b.AddSwitch(cname + "-fabric" + std::to_string(f),
+                                      Role::kAggregation, 3, c,
+                                      kLayerAsnBase + 3));
+      }
+      Connect(graph, pod_tops, fabrics);
+      for (int s = 0; s < params.spines_per_cluster; ++s) {
+        tops.push_back(b.AddSwitch(cname + "-spine" + std::to_string(s),
+                                   Role::kCore, 4, c, kLayerAsnBase + 4));
+      }
+      Connect(graph, fabrics, tops);
+    } else {
+      for (int s = 0; s < params.spines_per_cluster; ++s) {
+        tops.push_back(b.AddSwitch(cname + "-spine" + std::to_string(s),
+                                   Role::kCore, 2, c, kLayerAsnBase + 2));
+      }
+      Connect(graph, pod_tops, tops);
+    }
+    cluster_tops[c] = tops;
+  }
+
+  // --- core and border layers --------------------------------------------
+  std::vector<NodeId> cores, borders;
+  for (int i = 0; i < params.cores; ++i) {
+    cores.push_back(
+        b.AddSwitch("core" + std::to_string(i), Role::kCore, 10, -1,
+                    kCoreAsn));
+  }
+  for (int c = 0; c < n_clusters; ++c) Connect(graph, cluster_tops[c], cores);
+  for (int i = 0; i < params.borders; ++i) {
+    // Borders carry unique public ASNs (they face the backbone and peer
+    // with each other over eBGP; a shared ASN would self-reject).
+    borders.push_back(
+        b.AddSwitch("border" + std::to_string(i), Role::kBorder, 11, -1,
+                    kBorderAsn + static_cast<uint32_t>(i)));
+  }
+  Connect(graph, cores, borders);
+  // Borders exchange routes with each other (§2.3 top-layer filtering).
+  for (size_t i = 0; i + 1 < borders.size(); ++i) {
+    graph.AddEdge(borders[i], borders[i + 1]);
+  }
+
+  // --- policies -----------------------------------------------------------
+  auto& intents = b.net.intents;
+  for (int c = 0; c < n_clusters; ++c) {
+    const bool big = c >= params.small_clusters;
+    const util::Ipv4Prefix vlan_space(
+        util::Ipv4Address((10u << 24) | (uint32_t(c) << 16)), 16);
+    const util::Ipv4Prefix loop_space(
+        util::Ipv4Address((172u << 24) | (uint32_t(16 + c) << 16)), 16);
+    for (NodeId top : cluster_tops[c]) {
+      NodeIntent& intent = intents[top];
+      if (big) {
+        // Layer >= 3 aggregation (§2.3): per-cluster VLAN and loopback
+        // aggregates, tagged with cluster + class communities.
+        intent.aggregates.push_back(AggregateIntent{
+            vlan_space, true,
+            {ClusterTag(c), kVlanAggCommunity, kVlanClassCommunity}});
+        intent.aggregates.push_back(AggregateIntent{
+            loop_space, true,
+            {ClusterTag(c), kLoopbackAggCommunity, kLoopbackClassCommunity}});
+      }
+    }
+  }
+  // AS_PATH overwrite (§2.3): every non-TOR layer overwrites the path with
+  // its own ASN when exporting toward lower layers, so shared same-layer
+  // ASNs do not cause loop-prevention drops on the way down. (The model
+  // applies overwrite_as_path to lower-layer exports only; see cp/bgp.)
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    if (graph.node(id).layer > 0) intents[id].overwrite_as_path = true;
+  }
+  for (NodeId border : borders) {
+    NodeIntent& intent = intents[border];
+    intent.remove_private_as = true;
+    // Backbone prefix, and a default route advertised only while the
+    // backbone prefix is present (conditional advertisement, §4.5).
+    util::Ipv4Prefix backbone = util::MustParsePrefix("192.0.2.0/24");
+    util::Ipv4Prefix dflt = util::MustParsePrefix("0.0.0.0/0");
+    intent.announced.push_back(backbone);
+    intent.cond_advs.push_back(CondAdvIntent{dflt, backbone, true});
+    // Backup prefix advertised only if the default is absent (never fires
+    // at the converged state; exists to exercise absent-dependencies).
+    intent.cond_advs.push_back(CondAdvIntent{
+        util::MustParsePrefix("198.51.100.0/24"), dflt, false});
+  }
+
+  // Interfaces must exist before per-interface policies can be attached.
+  AssignLinkAddresses(b.net);
+
+  // Per-interface policies: layered local-pref, valley guard, overwrite
+  // direction, cluster-tag filtering and class tagging.
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    NodeIntent& intent = intents[id];
+    const NodeInfo& info = graph.node(id);
+    for (InterfaceIntent& iface : intent.interfaces) {
+      const NodeInfo& peer = graph.node(iface.peer);
+      if (peer.layer < info.layer) {
+        iface.import_local_pref = 200;  // prefer routes from below
+      } else if (peer.layer == info.layer) {
+        iface.import_local_pref = 150;
+      } else {
+        iface.import_local_pref = 100;
+      }
+      if (peer.layer >= info.layer) {
+        // Valley guard: tag what comes from above/sideways; never export
+        // such routes back up or sideways.
+        iface.import_tag_communities.push_back(kFromAboveCommunity);
+        iface.export_policy.deny_export_communities.push_back(
+            kFromAboveCommunity);
+      }
+      // Cluster tops exporting up: tag route classes, and stamp the
+      // cluster tag so cores can avoid reflecting routes back into their
+      // origin cluster.
+      if (info.role == Role::kCore && info.pod >= 0 &&
+          peer.layer > info.layer) {
+        iface.export_policy.tag_matching.push_back(
+            {util::MustParsePrefix("10.0.0.0/8"), kVlanClassCommunity});
+        iface.export_policy.tag_matching.push_back(
+            {util::MustParsePrefix("172.16.0.0/12"),
+             kLoopbackClassCommunity});
+        iface.export_policy.tag_matching.push_back(
+            {util::MustParsePrefix("0.0.0.0/0"), ClusterTag(info.pod)});
+      }
+      // Cores exporting down: never send a cluster its own routes back
+      // (prevents spine<->core preference cycles).
+      if (info.layer == 10 && peer.layer < 10 && peer.pod >= 0) {
+        iface.export_policy.deny_export_communities.push_back(
+            ClusterTag(peer.pod));
+      }
+      // Borders exchanging with each other filter management routes
+      // (loopback class and loopback aggregates stay inside the DCN).
+      if (info.role == Role::kBorder && peer.role == Role::kBorder) {
+        iface.export_policy.deny_export_communities.push_back(
+            kLoopbackClassCommunity);
+        iface.export_policy.deny_export_communities.push_back(
+            kLoopbackAggCommunity);
+        // Management traffic must not transit between borders either:
+        // outbound packet filter on the border-to-border link.
+        iface.acl_out.push_back(AclRuleIntent{
+            false, std::nullopt, util::MustParsePrefix("172.16.0.0/12")});
+      }
+    }
+  }
+
+  return b.net;
+}
+
+}  // namespace s2::topo

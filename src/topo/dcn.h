@@ -1,0 +1,46 @@
+// DCN-like topology synthesis — the stand-in for the paper's proprietary
+// production datacenter (§2.3, DESIGN.md substitution S1).
+//
+// Reproduced §2.3 characteristics:
+//  - Clos clusters with *different layer counts* (3-layer small clusters,
+//    5-layer big clusters) co-existing under a shared core layer.
+//  - Same-layer switches share an ASN; AS_PATH-overwrite policies on the
+//    upper layers prevent the resulting cross-cluster route drops.
+//  - Route aggregation at layer >= 3: VLAN (business) /24s and loopback
+//    (management) /32s are aggregated into per-cluster prefixes, tagged
+//    with communities which border switches use to filter exports.
+//  - Heterogeneous ECMP limits per layer; mixed vendor dialects; private
+//    ASNs inside the fabric with remove-private-as on the borders.
+//  - Conditional advertisement on borders (default route depends on the
+//    backbone prefix), seeding non-trivial DPDG dependencies (§4.5).
+#pragma once
+
+#include "topo/graph.h"
+
+namespace s2::topo {
+
+struct DcnParams {
+  int small_clusters = 2;  // 3-layer clusters
+  int big_clusters = 1;    // 5-layer clusters
+  int tors_per_pod = 4;    // layer-0 width per pod
+  int leafs_per_pod = 2;   // layer-1 width per pod
+  int pods_per_cluster = 2;
+  int spines_per_cluster = 2;   // cluster top layer
+  int fabrics_per_cluster = 2;  // big-cluster intermediate layer
+  int cores = 4;                // global core layer
+  int borders = 2;              // backbone-facing switches
+  bool mixed_vendors = true;
+};
+
+// Well-known communities used by the synthesized DCN policies.
+inline constexpr uint32_t kVlanClassCommunity = 200;      // business routes
+inline constexpr uint32_t kLoopbackClassCommunity = 201;  // management
+inline constexpr uint32_t kVlanAggCommunity = 500;        // VLAN aggregate
+inline constexpr uint32_t kLoopbackAggCommunity = 501;    // loopback agg
+inline constexpr uint32_t kFromAboveCommunity = 999;      // valley guard
+// Community identifying routes of cluster `c`.
+inline constexpr uint32_t ClusterTag(int c) { return 100 + uint32_t(c); }
+
+Network MakeDcn(const DcnParams& params);
+
+}  // namespace s2::topo

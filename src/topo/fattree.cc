@@ -1,0 +1,94 @@
+#include "topo/fattree.h"
+
+#include <cstdlib>
+
+namespace s2::topo {
+
+int FatTreeSwitchCount(int k) { return 5 * k * k / 4; }
+
+Network MakeFatTree(const FatTreeParams& params) {
+  const int k = params.k;
+  if (k < 2 || k % 2 != 0) std::abort();
+  const int half = k / 2;
+
+  Network net;
+  net.name = "FatTree" + std::to_string(k);
+
+  // The paper's §4.1 load estimates: core and aggregation ~ k^3/2 routes,
+  // edge ~ k^3/4.
+  const double core_load = k * k * k / 2.0;
+  const double agg_load = k * k * k / 2.0;
+  const double edge_load = k * k * k / 4.0;
+
+  // Nodes: per pod, k/2 edge then k/2 aggregation; then (k/2)^2 cores.
+  std::vector<std::vector<NodeId>> edges_of_pod(k), aggs_of_pod(k);
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < half; ++i) {
+      edges_of_pod[p].push_back(net.graph.AddNode(
+          NodeInfo{"edge-" + std::to_string(p) + "-" + std::to_string(i),
+                   Role::kEdge, 0, p, edge_load}));
+    }
+    for (int j = 0; j < half; ++j) {
+      aggs_of_pod[p].push_back(net.graph.AddNode(NodeInfo{
+          "agg-" + std::to_string(p) + "-" + std::to_string(j),
+          Role::kAggregation, 1, p, agg_load}));
+    }
+  }
+  std::vector<NodeId> cores;
+  for (int j = 0; j < half; ++j) {
+    for (int l = 0; l < half; ++l) {
+      cores.push_back(net.graph.AddNode(
+          NodeInfo{"core-" + std::to_string(j) + "-" + std::to_string(l),
+                   Role::kCore, 2, -1, core_load}));
+    }
+  }
+
+  // Links: edge <-> every aggregation in its pod; aggregation j <-> core
+  // group j.
+  for (int p = 0; p < k; ++p) {
+    for (NodeId e : edges_of_pod[p]) {
+      for (NodeId a : aggs_of_pod[p]) net.graph.AddEdge(e, a);
+    }
+    for (int j = 0; j < half; ++j) {
+      for (int l = 0; l < half; ++l) {
+        net.graph.AddEdge(aggs_of_pod[p][j], cores[j * half + l]);
+      }
+    }
+  }
+
+  // Intents: unique ASN per switch, loopback /32, edge host /24s.
+  net.intents.resize(net.graph.size());
+  for (NodeId id = 0; id < net.graph.size(); ++id) {
+    NodeIntent& intent = net.intents[id];
+    intent.asn = 100000 + id;
+    intent.vendor = (params.mixed_vendors && id % 2 == 1) ? Vendor::kBeta
+                                                          : Vendor::kAlpha;
+    intent.loopback = util::Ipv4Prefix(
+        util::Ipv4Address((172u << 24) | (16u << 16) | id), 32);
+    intent.announced.push_back(intent.loopback);
+    intent.max_ecmp_paths = params.max_ecmp_paths;
+  }
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < half; ++i) {
+      NodeIntent& intent = net.intents[edges_of_pod[p][i]];
+      intent.announced.push_back(util::Ipv4Prefix(
+          util::Ipv4Address((10u << 24) | (uint32_t(p) << 16) |
+                            (uint32_t(i) << 8)),
+          24));
+      for (int x = 0; x < params.extra_prefixes_per_edge; ++x) {
+        uint32_t third = 128 + uint32_t(i) * params.extra_prefixes_per_edge +
+                         uint32_t(x);
+        if (third > 255) std::abort();  // parameter combination too large
+        intent.announced.push_back(util::Ipv4Prefix(
+            util::Ipv4Address((10u << 24) | (uint32_t(p) << 16) |
+                              (third << 8)),
+            24));
+      }
+    }
+  }
+
+  AssignLinkAddresses(net);
+  return net;
+}
+
+}  // namespace s2::topo

@@ -1,0 +1,34 @@
+// ACORN-style FatTree synthesis (paper §5.2).
+//
+// FatTree(k), k even: k pods of k/2 edge + k/2 aggregation switches and
+// (k/2)^2 core switches — 5k^2/4 switches total. Every switch has a unique
+// ASN and forms an eBGP session on every link; ECMP is enabled with a
+// configurable path limit (the paper uses 64). Each edge switch announces
+// one host /24 and every switch announces its loopback /32, which makes
+// the total route count quadratic in switch count, the regime the paper's
+// memory arguments are about (§2.2).
+//
+// Paper size mapping (this repo runs scaled-down instances; DESIGN.md S8):
+//   FatTree40 = k=40 (2000 sw) ... FatTree90 = k=90 (10125 sw).
+#pragma once
+
+#include "topo/graph.h"
+
+namespace s2::topo {
+
+struct FatTreeParams {
+  int k = 4;               // pod count; must be even and >= 2
+  int max_ecmp_paths = 64;
+  // Extra prefixes announced per edge switch beyond the host /24 (models
+  // "each TOR may announce multiple prefixes", §2.2).
+  int extra_prefixes_per_edge = 0;
+  // Alternate the two pseudo-vendor dialects across switches.
+  bool mixed_vendors = true;
+};
+
+// Number of switches of FatTree(k): 5k^2/4.
+int FatTreeSwitchCount(int k);
+
+Network MakeFatTree(const FatTreeParams& params);
+
+}  // namespace s2::topo

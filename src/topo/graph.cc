@@ -1,0 +1,72 @@
+#include "topo/graph.h"
+
+#include <cstdlib>
+
+namespace s2::topo {
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kEdge:
+      return "edge";
+    case Role::kAggregation:
+      return "aggregation";
+    case Role::kCore:
+      return "core";
+    case Role::kBorder:
+      return "border";
+  }
+  return "?";
+}
+
+NodeId Graph::AddNode(NodeInfo info) {
+  nodes_.push_back(std::move(info));
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+size_t Graph::AddEdge(NodeId a, NodeId b) {
+  edges_.push_back(Edge{a, b});
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  return edges_.size() - 1;
+}
+
+NodeId Graph::FindByName(const std::string& name) const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].name == name) return id;
+  }
+  return kInvalidNode;
+}
+
+void AssignLinkAddresses(Network& network) {
+  // Precondition: not yet addressed. A second call would duplicate every
+  // interface (it appends one record per edge endpoint).
+  for (const NodeIntent& intent : network.intents) {
+    if (!intent.interfaces.empty()) std::abort();
+  }
+  // Each edge consumes one /31 from 10.128.0.0/9: base + 2 * edge_index.
+  const uint32_t base = util::MustParseAddress("10.128.0.0").bits();
+  for (size_t e = 0; e < network.graph.edge_count(); ++e) {
+    const Edge& edge = network.graph.edge(e);
+    uint32_t subnet = base + static_cast<uint32_t>(2 * e);
+    auto if_name = [&](NodeId self) {
+      return "eth" +
+             std::to_string(network.intents[self].interfaces.size());
+    };
+    std::string name_a = if_name(edge.a);
+    std::string name_b = if_name(edge.b);
+    InterfaceIntent side_a, side_b;
+    side_a.name = name_a;
+    side_a.address = util::Ipv4Address(subnet);
+    side_a.peer = edge.b;
+    side_a.peer_interface = name_b;
+    side_b.name = name_b;
+    side_b.address = util::Ipv4Address(subnet + 1);
+    side_b.peer = edge.a;
+    side_b.peer_interface = name_a;
+    network.intents[edge.a].interfaces.push_back(std::move(side_a));
+    network.intents[edge.b].interfaces.push_back(std::move(side_b));
+  }
+}
+
+}  // namespace s2::topo

@@ -1,0 +1,176 @@
+// Network graph and synthesis "intent" types.
+//
+// Generators (fattree.h, dcn.h) produce a Network: a physical graph plus a
+// per-node NodeIntent describing what the device should be configured to
+// do. The config layer renders intents into vendor-specific configuration
+// text and parses that text back into vendor-independent models — the same
+// pipeline the paper drives through Batfish's parsers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/ip.h"
+
+namespace s2::topo {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+// Coarse device role, used by load estimation (§4.1) and the "expert"
+// partition scheme (§5.6).
+enum class Role {
+  kEdge,         // FatTree edge / DCN TOR (layer 0)
+  kAggregation,  // FatTree aggregation / DCN leaf-or-pod layers
+  kCore,         // FatTree core / DCN top spine
+  kBorder,       // DCN border (connects to backbone)
+};
+
+const char* RoleName(Role role);
+
+struct NodeInfo {
+  std::string name;
+  Role role = Role::kEdge;
+  int layer = 0;    // 0 = bottom (TOR/edge)
+  int pod = -1;     // FatTree pod / DCN cluster index; -1 if global
+  // Estimated route-processing load for the partitioner (§4.1). FatTree
+  // uses the paper's k^3/2 / k^3/2 / k^3/4 role estimates; DCN is uniform.
+  double load = 1.0;
+};
+
+struct Edge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+};
+
+// An undirected multigraph of devices. Node ids are dense [0, size).
+class Graph {
+ public:
+  NodeId AddNode(NodeInfo info);
+  // Adds an undirected edge; returns its index.
+  size_t AddEdge(NodeId a, NodeId b);
+
+  size_t size() const { return nodes_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+
+  const NodeInfo& node(NodeId id) const { return nodes_[id]; }
+  NodeInfo& node(NodeId id) { return nodes_[id]; }
+  const Edge& edge(size_t index) const { return edges_[index]; }
+
+  const std::vector<NodeId>& neighbors(NodeId id) const {
+    return adjacency_[id];
+  }
+
+  // Node id by name; kInvalidNode if absent. O(n) — lookup tables are the
+  // caller's business for hot paths.
+  NodeId FindByName(const std::string& name) const;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+// ----------------------------------------------------------------- intent
+
+// Which pseudo-vendor dialect a device speaks. The two dialects differ in
+// syntax and in one behaviour (remove-private-as semantics), modeling the
+// paper's VSB motivation (§2.1).
+enum class Vendor { kAlpha, kBeta };
+
+// Per-neighbor export policy (compiled to a route-map by the vendor
+// renderer). All clauses apply on export to that neighbor only.
+struct PeerPolicyIntent {
+  // Drop routes carrying any of these communities.
+  std::vector<uint32_t> deny_export_communities;
+  // If set, only routes carrying this community pass (aggregates tagged at
+  // origination carry it); everything else is denied.
+  std::vector<uint32_t> permit_only_communities;
+  // Attach `second` to routes covered by `first` (prefix match, any more
+  // specific length).
+  std::vector<std::pair<util::Ipv4Prefix, uint32_t>> tag_matching;
+  // Prepend the exporter's ASN this many extra times (traffic
+  // engineering: de-prefer paths through this link).
+  uint32_t as_path_prepend = 0;
+};
+
+// One packet-filter rule; unset prefixes match anything. First match wins;
+// renderers append an explicit permit-any terminator.
+struct AclRuleIntent {
+  bool permit = true;
+  std::optional<util::Ipv4Prefix> src;
+  std::optional<util::Ipv4Prefix> dst;
+};
+
+struct InterfaceIntent {
+  std::string name;            // e.g. "eth0"
+  util::Ipv4Address address;   // this end's address on the p2p subnet
+  uint8_t prefix_length = 31;  // p2p links use /31
+  NodeId peer = kInvalidNode;  // other end of the link
+  std::string peer_interface;
+  PeerPolicyIntent export_policy;
+  // Import policy for routes learned from this neighbor: local preference
+  // (DC fabrics prefer routes from lower layers) and communities stamped on
+  // ingress (used to enforce valley-freedom: routes from above are tagged
+  // and the tag is denied on upward export).
+  uint32_t import_local_pref = 100;
+  std::vector<uint32_t> import_tag_communities;
+  // Packet filters applied by data-plane verification (paper Eq. 1).
+  std::vector<AclRuleIntent> acl_in, acl_out;
+};
+
+struct AggregateIntent {
+  util::Ipv4Prefix prefix;
+  bool summary_only = true;            // suppress contributing routes
+  std::vector<uint32_t> communities;   // tags attached to the aggregate
+};
+
+// Conditional advertisement (Cisco advertise-map style, the paper's DPDG
+// dependency source [1]): announce `advertise` iff `watch` is present
+// (advertise_if_present) or absent in the RIB.
+struct CondAdvIntent {
+  util::Ipv4Prefix advertise;
+  util::Ipv4Prefix watch;
+  bool advertise_if_present = true;
+};
+
+struct NodeIntent {
+  uint32_t asn = 0;
+  Vendor vendor = Vendor::kAlpha;
+  util::Ipv4Prefix loopback;                  // /32, announced into BGP
+  std::vector<InterfaceIntent> interfaces;
+  std::vector<util::Ipv4Prefix> announced;    // BGP network statements
+  std::vector<AggregateIntent> aggregates;
+  std::vector<CondAdvIntent> cond_advs;
+  // Overwrite the AS_PATH of routes exported to lower-layer neighbors with
+  // the node's own ASN (§2.3: prevents drops when layers share ASNs while
+  // keeping upward loop prevention intact).
+  bool overwrite_as_path = false;
+  // Strip private ASNs on export (vendor-specific semantics, §2.1).
+  bool remove_private_as = false;
+  int max_ecmp_paths = 64;
+  // IGP underlay: run single-area OSPF on all interfaces, advertising the
+  // loopback; optionally redistribute OSPF routes into BGP. Used by small
+  // mixed-protocol topologies (the S2 CPO schedules IGP before EGP).
+  bool enable_ospf = false;
+  bool redistribute_ospf_into_bgp = false;
+};
+
+// A synthesized network: graph, per-node intent (indexed by NodeId), and a
+// human-readable name for reports.
+struct Network {
+  std::string name;
+  Graph graph;
+  std::vector<NodeIntent> intents;
+};
+
+// Assigns /31 point-to-point subnets and interface names to every edge of
+// `network`, filling each node's InterfaceIntent list. Subnets are carved
+// from 10.128.0.0/9 in edge order. Generators call this after building the
+// graph.
+void AssignLinkAddresses(Network& network);
+
+}  // namespace s2::topo

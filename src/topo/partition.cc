@@ -1,0 +1,356 @@
+#include "topo/partition.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <unordered_map>
+
+namespace s2::topo {
+
+namespace {
+
+// Greedy longest-processing-time assignment: heaviest item to the lightest
+// bin. `loads` are item weights; returns item -> bin.
+std::vector<uint32_t> GreedyBalance(const std::vector<double>& loads,
+                                    uint32_t num_parts, util::Rng& rng) {
+  std::vector<size_t> order(loads.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);  // break ties among equal loads randomly
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return loads[a] > loads[b];
+  });
+  std::vector<double> bin_load(num_parts, 0.0);
+  std::vector<uint32_t> assignment(loads.size(), 0);
+  for (size_t item : order) {
+    uint32_t best = 0;
+    for (uint32_t p = 1; p < num_parts; ++p) {
+      if (bin_load[p] < bin_load[best]) best = p;
+    }
+    assignment[item] = best;
+    bin_load[best] += loads[item];
+  }
+  return assignment;
+}
+
+// A weighted graph used during multilevel coarsening.
+struct CoarseGraph {
+  std::vector<double> load;                                // node loads
+  std::vector<std::unordered_map<uint32_t, double>> adj;   // edge weights
+  std::vector<std::vector<uint32_t>> members;  // original node ids
+
+  size_t size() const { return load.size(); }
+};
+
+CoarseGraph FromGraph(const Graph& graph) {
+  CoarseGraph cg;
+  cg.load.resize(graph.size());
+  cg.adj.resize(graph.size());
+  cg.members.resize(graph.size());
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    cg.load[id] = graph.node(id).load;
+    cg.members[id] = {id};
+  }
+  for (size_t e = 0; e < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    cg.adj[edge.a][edge.b] += 1.0;
+    cg.adj[edge.b][edge.a] += 1.0;
+  }
+  return cg;
+}
+
+// One round of heavy-edge matching; returns the coarser graph.
+CoarseGraph Coarsen(const CoarseGraph& g, util::Rng& rng) {
+  std::vector<uint32_t> match(g.size(), ~uint32_t{0});
+  std::vector<uint32_t> visit(g.size());
+  std::iota(visit.begin(), visit.end(), 0);
+  rng.Shuffle(visit);
+  for (uint32_t v : visit) {
+    if (match[v] != ~uint32_t{0}) continue;
+    uint32_t best = ~uint32_t{0};
+    double best_weight = -1.0;
+    for (const auto& [u, w] : g.adj[v]) {
+      if (match[u] == ~uint32_t{0} && u != v && w > best_weight) {
+        best = u;
+        best_weight = w;
+      }
+    }
+    if (best != ~uint32_t{0}) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // stays single
+    }
+  }
+  // Build coarse node ids.
+  std::vector<uint32_t> coarse_id(g.size(), ~uint32_t{0});
+  CoarseGraph out;
+  for (uint32_t v = 0; v < g.size(); ++v) {
+    if (coarse_id[v] != ~uint32_t{0}) continue;
+    uint32_t u = match[v];
+    uint32_t id = static_cast<uint32_t>(out.size());
+    coarse_id[v] = id;
+    out.load.push_back(g.load[v]);
+    out.members.push_back(g.members[v]);
+    if (u != v) {
+      coarse_id[u] = id;
+      out.load.back() += g.load[u];
+      out.members.back().insert(out.members.back().end(),
+                                g.members[u].begin(), g.members[u].end());
+    }
+  }
+  out.adj.resize(out.size());
+  for (uint32_t v = 0; v < g.size(); ++v) {
+    for (const auto& [u, w] : g.adj[v]) {
+      uint32_t cv = coarse_id[v], cu = coarse_id[u];
+      if (cv != cu) out.adj[cv][cu] += w;
+    }
+  }
+  return out;
+}
+
+// Kernighan–Lin style refinement: move boundary nodes to reduce edge cut
+// while keeping every part within `tolerance` of the ideal load. Balance
+// stays the primary objective: a move that would push a part past the
+// tolerance is rejected no matter how much cut it saves.
+void Refine(const CoarseGraph& g, std::vector<uint32_t>& part,
+            uint32_t num_parts, int passes) {
+  double total_load = std::accumulate(g.load.begin(), g.load.end(), 0.0);
+  double ideal = total_load / num_parts;
+  const double tolerance = 1.05;
+  std::vector<double> part_load(num_parts, 0.0);
+  for (uint32_t v = 0; v < g.size(); ++v) part_load[part[v]] += g.load[v];
+
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (uint32_t v = 0; v < g.size(); ++v) {
+      // Connection weight of v to each part.
+      std::unordered_map<uint32_t, double> weight_to;
+      for (const auto& [u, w] : g.adj[v]) weight_to[part[u]] += w;
+      uint32_t from = part[v];
+      uint32_t best = from;
+      double best_gain = 0.0;
+      for (const auto& [p, w] : weight_to) {
+        if (p == from) continue;
+        if (part_load[p] + g.load[v] > ideal * tolerance) continue;
+        double gain = w - weight_to[from];
+        // Prefer moves that also improve balance when cut gain ties.
+        if (gain > best_gain ||
+            (gain == best_gain && gain > 0 &&
+             part_load[p] < part_load[best])) {
+          best = p;
+          best_gain = gain;
+        }
+      }
+      if (best != from) {
+        part_load[from] -= g.load[v];
+        part_load[best] += g.load[v];
+        part[v] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+std::vector<uint32_t> MetisLike(const Graph& graph, uint32_t num_parts,
+                                util::Rng& rng) {
+  CoarseGraph level = FromGraph(graph);
+  std::vector<CoarseGraph> levels;
+  size_t floor_size = std::max<size_t>(4 * num_parts, 64);
+  while (level.size() > floor_size) {
+    CoarseGraph next = Coarsen(level, rng);
+    if (next.size() >= level.size() * 95 / 100) break;  // no progress
+    levels.push_back(std::move(level));
+    level = std::move(next);
+  }
+  // Initial partition on the coarsest level: pure load balance.
+  std::vector<uint32_t> part = GreedyBalance(level.load, num_parts, rng);
+  Refine(level, part, num_parts, 4);
+  // Project back up, refining at each level.
+  while (!levels.empty()) {
+    CoarseGraph finer = std::move(levels.back());
+    levels.pop_back();
+    // Coarse node i's members are original ids; map original -> coarse of
+    // the finer level via membership (finer nodes' first member suffices:
+    // every finer node's member set is a subset of exactly one coarse
+    // node's).
+    std::unordered_map<uint32_t, uint32_t> original_to_part;
+    for (uint32_t c = 0; c < level.size(); ++c) {
+      for (uint32_t orig : level.members[c]) original_to_part[orig] = part[c];
+    }
+    std::vector<uint32_t> finer_part(finer.size());
+    for (uint32_t f = 0; f < finer.size(); ++f) {
+      finer_part[f] = original_to_part.at(finer.members[f].front());
+    }
+    Refine(finer, finer_part, num_parts, 2);
+    level = std::move(finer);
+    part = std::move(finer_part);
+  }
+  // `level` is now the original graph's coarse representation (one node
+  // per original node in `FromGraph` order).
+  std::vector<uint32_t> assignment(graph.size());
+  for (uint32_t c = 0; c < level.size(); ++c) {
+    for (uint32_t orig : level.members[c]) assignment[orig] = part[c];
+  }
+  return assignment;
+}
+
+std::vector<uint32_t> Expert(const Graph& graph, uint32_t num_parts,
+                             util::Rng& rng) {
+  // Group pod members; greedily balance whole pods, then deal pod-less
+  // nodes (FatTree cores, DCN cores/borders) individually.
+  std::unordered_map<int, std::vector<NodeId>> pods;
+  std::vector<NodeId> global;
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    if (graph.node(id).pod >= 0) {
+      pods[graph.node(id).pod].push_back(id);
+    } else {
+      global.push_back(id);
+    }
+  }
+  std::vector<int> pod_keys;
+  std::vector<double> pod_loads;
+  for (auto& [key, members] : pods) {
+    pod_keys.push_back(key);
+    double load = 0;
+    for (NodeId id : members) load += graph.node(id).load;
+    pod_loads.push_back(load);
+  }
+  std::vector<uint32_t> pod_part = GreedyBalance(pod_loads, num_parts, rng);
+  std::vector<uint32_t> assignment(graph.size(), 0);
+  std::vector<double> part_load(num_parts, 0.0);
+  for (size_t i = 0; i < pod_keys.size(); ++i) {
+    for (NodeId id : pods[pod_keys[i]]) {
+      assignment[id] = pod_part[i];
+      part_load[pod_part[i]] += graph.node(id).load;
+    }
+  }
+  std::stable_sort(global.begin(), global.end(), [&](NodeId a, NodeId b) {
+    return graph.node(a).load > graph.node(b).load;
+  });
+  for (NodeId id : global) {
+    uint32_t best = 0;
+    for (uint32_t p = 1; p < num_parts; ++p) {
+      if (part_load[p] < part_load[best]) best = p;
+    }
+    assignment[id] = best;
+    part_load[best] += graph.node(id).load;
+  }
+  return assignment;
+}
+
+std::vector<uint32_t> Random(const Graph& graph, uint32_t num_parts,
+                             util::Rng& rng) {
+  std::vector<NodeId> order(graph.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  std::vector<uint32_t> assignment(graph.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    assignment[order[i]] = static_cast<uint32_t>(i % num_parts);
+  }
+  return assignment;
+}
+
+std::vector<uint32_t> Imbalanced(const Graph& graph, uint32_t num_parts) {
+  std::vector<uint32_t> assignment(graph.size(), 0);
+  size_t heavy = graph.size() * 3 / 4;
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    if (id < heavy || num_parts == 1) {
+      assignment[id] = 0;
+    } else {
+      assignment[id] = 1 + static_cast<uint32_t>((id - heavy) %
+                                                 (num_parts - 1));
+    }
+  }
+  return assignment;
+}
+
+std::vector<uint32_t> CommHeavy(const Graph& graph, uint32_t num_parts) {
+  // Alternate layers across segment halves so nearly every link crosses a
+  // worker boundary (the paper's communication-heaviest probe).
+  if (num_parts == 1) return std::vector<uint32_t>(graph.size(), 0);
+  uint32_t half = num_parts / 2;
+  uint32_t lower_count = std::max<uint32_t>(half, 1);
+  uint32_t upper_count = num_parts - lower_count;
+  std::vector<uint32_t> assignment(graph.size());
+  uint32_t even_rr = 0, odd_rr = 0;
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    if (graph.node(id).layer % 2 == 0) {
+      assignment[id] = even_rr++ % lower_count;
+    } else {
+      assignment[id] = lower_count + odd_rr++ % upper_count;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+const char* PartitionSchemeName(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kMetisLike:
+      return "metis";
+    case PartitionScheme::kRandom:
+      return "random";
+    case PartitionScheme::kExpert:
+      return "expert";
+    case PartitionScheme::kImbalanced:
+      return "imbalanced";
+    case PartitionScheme::kCommHeavy:
+      return "comm-heavy";
+  }
+  return "?";
+}
+
+double PartitionResult::LoadImbalance(const Graph& graph) const {
+  std::vector<double> part_load(num_parts, 0.0);
+  double total = 0;
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    part_load[assignment[id]] += graph.node(id).load;
+    total += graph.node(id).load;
+  }
+  double mean = total / num_parts;
+  double max_load = *std::max_element(part_load.begin(), part_load.end());
+  return mean > 0 ? max_load / mean : 1.0;
+}
+
+size_t PartitionResult::EdgeCut(const Graph& graph) const {
+  size_t cut = 0;
+  for (size_t e = 0; e < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    if (assignment[edge.a] != assignment[edge.b]) ++cut;
+  }
+  return cut;
+}
+
+PartitionResult Partition(const Graph& graph, uint32_t num_parts,
+                          PartitionScheme scheme, uint64_t seed) {
+  if (num_parts == 0) std::abort();
+  util::Rng rng(seed);
+  PartitionResult result;
+  result.num_parts = num_parts;
+  if (num_parts == 1) {
+    result.assignment.assign(graph.size(), 0);
+    return result;
+  }
+  switch (scheme) {
+    case PartitionScheme::kMetisLike:
+      result.assignment = MetisLike(graph, num_parts, rng);
+      break;
+    case PartitionScheme::kRandom:
+      result.assignment = Random(graph, num_parts, rng);
+      break;
+    case PartitionScheme::kExpert:
+      result.assignment = Expert(graph, num_parts, rng);
+      break;
+    case PartitionScheme::kImbalanced:
+      result.assignment = Imbalanced(graph, num_parts);
+      break;
+    case PartitionScheme::kCommHeavy:
+      result.assignment = CommHeavy(graph, num_parts);
+      break;
+  }
+  return result;
+}
+
+}  // namespace s2::topo

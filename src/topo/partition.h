@@ -1,0 +1,58 @@
+// Network partitioning (paper §4.1, evaluated in §5.6).
+//
+// Splits the device graph into `num_parts` segments, one per worker. Per
+// the paper, workload balance is the primary objective and edge cut
+// (inter-worker communication) the secondary one — the opposite priority
+// of classic network-emulation partitioners.
+//
+// Schemes (§5.6):
+//   kMetisLike  multilevel heavy-edge-matching coarsening, greedy initial
+//               partition, Kernighan–Lin refinement (our stand-in for
+//               METIS; DESIGN.md substitution S6)
+//   kRandom     shuffle nodes, deal them round-robin
+//   kExpert     FatTree: whole pods per segment, cores dealt round-robin;
+//               generally: sort by (pod, name) and cut into load-balanced
+//               contiguous blocks
+//   kImbalanced 3/4 of all nodes in segment 0 (the paper's pathological
+//               load-imbalance probe)
+//   kCommHeavy  deliberately maximizes cut: alternating layers land in
+//               different segments
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.h"
+#include "util/rng.h"
+
+namespace s2::topo {
+
+enum class PartitionScheme {
+  kMetisLike,
+  kRandom,
+  kExpert,
+  kImbalanced,
+  kCommHeavy,
+};
+
+const char* PartitionSchemeName(PartitionScheme scheme);
+
+struct PartitionResult {
+  // assignment[node] = segment in [0, num_parts).
+  std::vector<uint32_t> assignment;
+  uint32_t num_parts = 0;
+
+  // Evaluation helpers.
+  // Max segment load divided by mean segment load (1.0 = perfect balance).
+  double LoadImbalance(const Graph& graph) const;
+  // Number of edges whose endpoints are in different segments.
+  size_t EdgeCut(const Graph& graph) const;
+};
+
+// Partitions `graph` into `num_parts` segments using `scheme`. Node loads
+// come from NodeInfo::load (the §4.1 estimates). Deterministic for a given
+// seed.
+PartitionResult Partition(const Graph& graph, uint32_t num_parts,
+                          PartitionScheme scheme, uint64_t seed = 1);
+
+}  // namespace s2::topo

@@ -1,0 +1,37 @@
+// The explicit cost model (DESIGN.md §3) shared by the distributed
+// orchestrators and the monolithic baseline.
+//
+// Measured per-phase busy time is real wall time; the model adds (a) a
+// serialization-bandwidth term for sidecar traffic and (b) a GC-pressure
+// penalty once a domain's live bytes approach its budget — reproducing the
+// paper's observation that prefix sharding speeds simulation up when
+// memory is tight and slows it down when memory is plentiful (Fig 4a/9a).
+#pragma once
+
+#include "util/memory_tracker.h"
+
+namespace s2::util {
+
+struct CostModelParams {
+  // Modeled sidecar serialization bandwidth (bytes/second).
+  double bandwidth_bytes_per_sec = 1e9;
+  // Memory pressure (live/budget) beyond which GC pauses are modeled.
+  double gc_pressure_threshold = 0.7;
+  // Modeled GC pause per live GB per round once past the threshold.
+  double gc_seconds_per_gb = 1.0;
+  // Modeled orchestration latency per synchronous round (the CPO/DPO RPC
+  // barrier across workers). This is the per-shard overhead that makes
+  // prefix sharding a net slowdown when memory is plentiful (Fig 4a) and
+  // the rising arm of Fig 9's U-shape.
+  double round_latency_seconds = 0.0;
+};
+
+// Per-round GC penalty of one domain under the model.
+inline double GcPenaltySeconds(const MemoryTracker& tracker,
+                               const CostModelParams& params) {
+  if (tracker.pressure() <= params.gc_pressure_threshold) return 0.0;
+  return params.gc_seconds_per_gb *
+         (static_cast<double>(tracker.live_bytes()) / 1e9);
+}
+
+}  // namespace s2::util

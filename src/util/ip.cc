@@ -1,0 +1,66 @@
+#include "util/ip.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace s2::util {
+
+std::optional<Ipv4Address> Ipv4Address::Parse(const std::string& text) {
+  unsigned a, b, c, d;
+  char trailing;
+  int n = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d,
+                      &trailing);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return Ipv4Address((a << 24) | (b << 16) | (c << 8) | d);
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bits_ >> 24,
+                (bits_ >> 16) & 0xff, (bits_ >> 8) & 0xff, bits_ & 0xff);
+  return buf;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address addr, uint8_t length) : len_(length) {
+  if (len_ > 32) len_ = 32;
+  addr_ = Ipv4Address(addr.bits() & Mask());
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::Parse(const std::string& text) {
+  auto slash = text.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  auto addr = Ipv4Address::Parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  char* end = nullptr;
+  long len = std::strtol(text.c_str() + slash + 1, &end, 10);
+  if (end == text.c_str() + slash + 1 || *end != '\0' || len < 0 || len > 32) {
+    return std::nullopt;
+  }
+  return Ipv4Prefix(*addr, static_cast<uint8_t>(len));
+}
+
+bool Ipv4Prefix::Contains(Ipv4Address addr) const {
+  return (addr.bits() & Mask()) == addr_.bits();
+}
+
+bool Ipv4Prefix::Contains(const Ipv4Prefix& other) const {
+  return other.len_ >= len_ && Contains(other.addr_);
+}
+
+std::string Ipv4Prefix::ToString() const {
+  return addr_.ToString() + "/" + std::to_string(len_);
+}
+
+Ipv4Address MustParseAddress(const std::string& text) {
+  auto a = Ipv4Address::Parse(text);
+  if (!a) std::abort();
+  return *a;
+}
+
+Ipv4Prefix MustParsePrefix(const std::string& text) {
+  auto p = Ipv4Prefix::Parse(text);
+  if (!p) std::abort();
+  return *p;
+}
+
+}  // namespace s2::util

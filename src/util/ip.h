@@ -1,0 +1,87 @@
+// IPv4 address and prefix value types.
+//
+// These are the fundamental identifiers threaded through the whole system:
+// configuration models, routes, RIBs, FIBs and BDD predicate construction
+// all key on Ipv4Prefix. Both types are trivially copyable and ordered so
+// they can be used directly as map keys and serialized as raw integers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace s2::util {
+
+// A single IPv4 address. Stored host-order so arithmetic and comparisons
+// are natural ("10.0.0.1" < "10.0.0.2").
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(uint32_t bits) : bits_(bits) {}
+
+  // Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> Parse(const std::string& text);
+
+  constexpr uint32_t bits() const { return bits_; }
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  uint32_t bits_ = 0;
+};
+
+// A CIDR prefix, canonicalized: host bits below the mask are always zero.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  Ipv4Prefix(Ipv4Address addr, uint8_t length);
+
+  // Parses "a.b.c.d/len"; returns nullopt on malformed input.
+  static std::optional<Ipv4Prefix> Parse(const std::string& text);
+
+  constexpr Ipv4Address address() const { return addr_; }
+  constexpr uint8_t length() const { return len_; }
+
+  // The netmask as a 32-bit value (e.g. /24 -> 0xffffff00).
+  constexpr uint32_t Mask() const {
+    return len_ == 0 ? 0u : ~uint32_t{0} << (32 - len_);
+  }
+
+  // True if `addr` falls inside this prefix.
+  bool Contains(Ipv4Address addr) const;
+  // True if `other` is fully covered by this prefix (this is the same
+  // length or shorter). A prefix contains itself.
+  bool Contains(const Ipv4Prefix& other) const;
+
+  std::string ToString() const;
+
+  friend auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+ private:
+  Ipv4Address addr_;
+  uint8_t len_ = 0;
+};
+
+// Convenience literal-ish constructors used pervasively by generators and
+// tests. Aborts on malformed text: these are for trusted inputs only.
+Ipv4Address MustParseAddress(const std::string& text);
+Ipv4Prefix MustParsePrefix(const std::string& text);
+
+}  // namespace s2::util
+
+template <>
+struct std::hash<s2::util::Ipv4Address> {
+  size_t operator()(s2::util::Ipv4Address a) const noexcept {
+    return std::hash<uint32_t>{}(a.bits());
+  }
+};
+
+template <>
+struct std::hash<s2::util::Ipv4Prefix> {
+  size_t operator()(const s2::util::Ipv4Prefix& p) const noexcept {
+    return std::hash<uint64_t>{}(
+        (uint64_t{p.address().bits()} << 8) | p.length());
+  }
+};

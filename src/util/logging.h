@@ -1,0 +1,44 @@
+// Leveled logging with a process-global minimum level. The verifier is a
+// batch tool, so logging goes to stderr and stays line-oriented.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace s2::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Sets / reads the global minimum level. Defaults to kWarn so tests and
+// benchmarks stay quiet unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace s2::util
+
+#define S2_LOG(level)                                       \
+  if (::s2::util::LogLevel::level < ::s2::util::GetLogLevel()) { \
+  } else                                                    \
+    ::s2::util::internal::LogLine(::s2::util::LogLevel::level)

@@ -1,0 +1,34 @@
+#include "util/memory_tracker.h"
+
+namespace s2::util {
+
+void MemoryTracker::Charge(size_t bytes) {
+  size_t now = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget_ != 0 && now > budget_) {
+    live_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw SimulatedOom(domain_, bytes, budget_);
+  }
+  size_t prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::Release(size_t bytes) {
+  size_t prev = live_.load(std::memory_order_relaxed);
+  size_t next;
+  do {
+    next = prev >= bytes ? prev - bytes : 0;
+  } while (!live_.compare_exchange_weak(prev, next,
+                                        std::memory_order_relaxed));
+}
+
+void MemoryTracker::ReleaseAll() { live_.store(0, std::memory_order_relaxed); }
+
+double MemoryTracker::pressure() const {
+  if (budget_ == 0) return 0.0;
+  return static_cast<double>(live_bytes()) / static_cast<double>(budget_);
+}
+
+}  // namespace s2::util

@@ -1,0 +1,62 @@
+// Per-domain memory accounting.
+//
+// The paper's central claims are about *per-worker peak memory*: a worker
+// holds only its own switches' routes, and prefix sharding bounds the peak
+// further. We reproduce 100GB-scale behaviour on a laptop by accounting the
+// bytes every module would hold (routes, adj-RIB-in entries, BDD nodes,
+// FIB rules) into the tracker of the domain (worker or monolithic process)
+// that owns them, instead of actually allocating them at full scale.
+//
+// A tracker may carry a budget; charging past the budget throws
+// SimulatedOom, which verifier facades convert into an "OOM" verdict —
+// the same observable the paper reports when Batfish runs out of memory.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace s2::util {
+
+class MemoryTracker {
+ public:
+  // `budget_bytes` of 0 means unlimited.
+  explicit MemoryTracker(std::string domain, size_t budget_bytes = 0)
+      : domain_(std::move(domain)), budget_(budget_bytes) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  // Records an allocation of `bytes`. Throws SimulatedOom if the domain
+  // would exceed its budget.
+  void Charge(size_t bytes);
+
+  // Records a release. Releasing more than is live clamps to zero (callers
+  // charge estimates, so tiny asymmetries must not wedge the tracker).
+  void Release(size_t bytes);
+
+  // Drops all live bytes (e.g. a shard round finished and its routes were
+  // spilled to disk). Peak is preserved.
+  void ReleaseAll();
+
+  size_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
+  size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  size_t budget_bytes() const { return budget_; }
+  const std::string& domain() const { return domain_; }
+
+  // Fraction of budget in use, 0 when unlimited. Drives the GC-pressure
+  // term of the cost model (DESIGN.md §3).
+  double pressure() const;
+
+  void ResetPeak() { peak_.store(live_.load()); }
+
+ private:
+  std::string domain_;
+  size_t budget_;
+  std::atomic<size_t> live_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+}  // namespace s2::util

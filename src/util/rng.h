@@ -1,0 +1,46 @@
+// Deterministic pseudo-random source (SplitMix64). Everything in this repo
+// that needs randomness — the equal-size-CC shuffle in prefix sharding, the
+// random partition scheme, property-test input generation — takes an
+// explicit Rng so results are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace s2::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Between(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  double NextDouble() {  // in [0,1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Below(i)]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace s2::util

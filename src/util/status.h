@@ -1,0 +1,68 @@
+// Minimal error-or-value plumbing used at module boundaries where a
+// failure is an expected outcome (parse errors, simulated OOM, timeouts)
+// rather than a programming error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace s2::util {
+
+// Thrown by MemoryTracker when a domain exceeds its simulated budget.
+// Verifier facades catch this and report an OOM verdict, mirroring the
+// paper's out-of-memory bars in Figures 4/5/8.
+class SimulatedOom : public std::runtime_error {
+ public:
+  SimulatedOom(std::string domain, size_t requested, size_t budget)
+      : std::runtime_error("simulated OOM in domain '" + domain +
+                           "': requested " + std::to_string(requested) +
+                           " bytes against budget " + std::to_string(budget)),
+        domain_(std::move(domain)) {}
+
+  const std::string& domain() const { return domain_; }
+
+ private:
+  std::string domain_;
+};
+
+// Thrown by engines when the modeled runtime exceeds a configured deadline
+// (mirrors the paper's 2-hour timeout on Bonsai / Batfish).
+class SimulatedTimeout : public std::runtime_error {
+ public:
+  explicit SimulatedTimeout(const std::string& what)
+      : std::runtime_error("simulated timeout: " + what) {}
+};
+
+// A value-or-error result. Kept deliberately tiny; only the handful of
+// fallible boundaries use it (config parsing chiefly).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  static Result Error(std::string message) {
+    return Result(ErrorTag{}, std::move(message));
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  const std::string& error() const { return std::get<ErrorString>(v_).msg; }
+
+ private:
+  struct ErrorTag {};
+  struct ErrorString {
+    std::string msg;
+  };
+  Result(ErrorTag, std::string message)
+      : v_(ErrorString{std::move(message)}) {}
+
+  std::variant<T, ErrorString> v_;
+};
+
+}  // namespace s2::util

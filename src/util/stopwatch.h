@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used for the measured component of the cost model
+// (per-worker busy time) and for benchmark phase timings.
+#pragma once
+
+#include <chrono>
+
+namespace s2::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace s2::util

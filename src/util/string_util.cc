@@ -1,0 +1,54 @@
+#include "util/string_util.h"
+
+namespace s2::util {
+
+std::vector<std::string> SplitTokens(std::string_view text,
+                                     std::string_view delims) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    size_t start = text.find_first_not_of(delims, i);
+    if (start == std::string_view::npos) break;
+    size_t end = text.find_first_of(delims, start);
+    if (end == std::string_view::npos) end = text.size();
+    out.emplace_back(text.substr(start, end - start));
+    i = end;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i <= text.size()) {
+    size_t end = text.find('\n', i);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > i) out.emplace_back(text.substr(i, end - i));
+    i = end + 1;
+  }
+  return out;
+}
+
+std::string Trim(std::string_view text) {
+  size_t start = text.find_first_not_of(" \t\r\n");
+  if (start == std::string_view::npos) return "";
+  size_t end = text.find_last_not_of(" \t\r\n");
+  return std::string(text.substr(start, end - start + 1));
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(separator);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+}  // namespace s2::util

@@ -1,0 +1,25 @@
+// Small string helpers shared by the config emitters/parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s2::util {
+
+// Splits on any run of characters in `delims`; empty tokens are dropped.
+std::vector<std::string> SplitTokens(std::string_view text,
+                                     std::string_view delims = " \t");
+
+// Splits into lines (on '\n'); keeps empty lines out.
+std::vector<std::string> SplitLines(std::string_view text);
+
+std::string Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+}  // namespace s2::util

@@ -1,0 +1,156 @@
+// BGP export/import transformation tests: AS prepend vs overwrite, eBGP
+// attribute scrubbing, loop rejection, and aggregate suppression.
+#include <gtest/gtest.h>
+
+#include "cp/bgp.h"
+
+namespace s2::cp {
+namespace {
+
+config::ViConfig DeviceWithAsn(uint32_t asn, topo::Vendor vendor) {
+  config::ViConfig config;
+  config.hostname = "dev";
+  config.vendor = vendor;
+  config.bgp.enabled = true;
+  config.bgp.asn = asn;
+  return config;
+}
+
+config::BgpNeighbor Session() {
+  config::BgpNeighbor neighbor;
+  neighbor.peer_address = util::MustParseAddress("10.128.0.1");
+  neighbor.remote_as = 65002;
+  return neighbor;
+}
+
+Route LearnedRoute() {
+  Route r;
+  r.prefix = util::MustParsePrefix("10.1.0.0/24");
+  r.protocol = Protocol::kBgp;
+  r.local_pref = 200;  // import policy had raised it
+  r.as_path = {65009};
+  r.learned_from = 4;
+  return r;
+}
+
+TEST(TransformForExportTest, PrependsAndScrubsLocalPref) {
+  auto config = DeviceWithAsn(65001, topo::Vendor::kAlpha);
+  auto exported = TransformForExport(LearnedRoute(), config, Session());
+  ASSERT_TRUE(exported.has_value());
+  EXPECT_EQ(exported->as_path, (std::vector<uint32_t>{65001, 65009}));
+  EXPECT_EQ(exported->local_pref, 100u);  // LOCAL_PREF not sent over eBGP
+}
+
+TEST(TransformForExportTest, OverwriteReplacesInsteadOfPrepending) {
+  auto config = DeviceWithAsn(64600, topo::Vendor::kAlpha);
+  config::RouteMap map;
+  map.name = "EXP";
+  config::RouteMapClause clause;
+  clause.permit = true;
+  clause.set_as_path_overwrite = true;
+  map.clauses.push_back(clause);
+  config.route_maps.emplace(map.name, map);
+  auto session = Session();
+  session.export_route_map = "EXP";
+  auto exported = TransformForExport(LearnedRoute(), config, session);
+  ASSERT_TRUE(exported.has_value());
+  EXPECT_EQ(exported->as_path, (std::vector<uint32_t>{64600}));
+}
+
+TEST(TransformForExportTest, DenyYieldsNullopt) {
+  auto config = DeviceWithAsn(65001, topo::Vendor::kAlpha);
+  config::RouteMap map;
+  map.name = "EXP";
+  config::RouteMapClause deny;
+  deny.permit = false;
+  map.clauses.push_back(deny);
+  config.route_maps.emplace(map.name, map);
+  auto session = Session();
+  session.export_route_map = "EXP";
+  EXPECT_FALSE(TransformForExport(LearnedRoute(), config, session));
+}
+
+TEST(TransformForExportTest, RemovePrivateAsUsesVendorSemantics) {
+  Route r = LearnedRoute();
+  r.as_path = {64512, 7018, 64513};
+  auto session = Session();
+  session.remove_private_as = true;
+
+  // remove-private-as runs on the learned path, before the local prepend.
+  // Alpha removes every private ASN.
+  auto alpha = DeviceWithAsn(60000, topo::Vendor::kAlpha);
+  auto ea = TransformForExport(r, alpha, session);
+  ASSERT_TRUE(ea.has_value());
+  EXPECT_EQ(ea->as_path, (std::vector<uint32_t>{60000, 7018}));
+
+  // Beta removes only the leading private run (64512), leaving the
+  // private ASN behind the first public one (64513) in place — the §2.1
+  // vendor divergence, observable on the wire.
+  auto beta = DeviceWithAsn(60000, topo::Vendor::kBeta);
+  auto eb = TransformForExport(r, beta, session);
+  ASSERT_TRUE(eb.has_value());
+  EXPECT_EQ(eb->as_path, (std::vector<uint32_t>{60000, 7018, 64513}));
+}
+
+TEST(ProcessImportTest, RejectsOwnAsnInPath) {
+  auto config = DeviceWithAsn(65001, topo::Vendor::kAlpha);
+  Route r = LearnedRoute();
+  r.as_path = {65009, 65001, 65003};  // contains our ASN
+  EXPECT_FALSE(ProcessImport(r, config, Session(), 4));
+}
+
+TEST(ProcessImportTest, AppliesImportPolicyAndProvenance) {
+  auto config = DeviceWithAsn(65001, topo::Vendor::kAlpha);
+  config::RouteMap map;
+  map.name = "IMP";
+  config::RouteMapClause clause;
+  clause.permit = true;
+  clause.set_local_pref = 200;
+  clause.add_communities = {999};
+  map.clauses.push_back(clause);
+  config.route_maps.emplace(map.name, map);
+  auto session = Session();
+  session.import_route_map = "IMP";
+  auto imported = ProcessImport(LearnedRoute(), config, session, 9);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->learned_from, 9u);
+  EXPECT_EQ(imported->local_pref, 200u);
+  EXPECT_TRUE(imported->HasCommunity(999));
+}
+
+TEST(ProcessImportTest, ImportDenyRejects) {
+  auto config = DeviceWithAsn(65001, topo::Vendor::kAlpha);
+  config::RouteMap map;
+  map.name = "IMP";
+  config::RouteMapClause deny;
+  deny.permit = false;
+  deny.match_covered_by = util::MustParsePrefix("10.0.0.0/8");
+  map.clauses.push_back(deny);
+  config.route_maps.emplace(map.name, map);
+  auto session = Session();
+  session.import_route_map = "IMP";
+  EXPECT_FALSE(ProcessImport(LearnedRoute(), config, session, 9));
+}
+
+TEST(SuppressedByAggregateTest, OnlySummaryOnlyCoveredStrictly) {
+  auto config = DeviceWithAsn(65001, topo::Vendor::kAlpha);
+  config::BgpAggregate agg;
+  agg.prefix = util::MustParsePrefix("10.1.0.0/16");
+  agg.summary_only = true;
+  config.bgp.aggregates.push_back(agg);
+  EXPECT_TRUE(
+      SuppressedByAggregate(util::MustParsePrefix("10.1.2.0/24"), config));
+  // The aggregate itself is never suppressed.
+  EXPECT_FALSE(
+      SuppressedByAggregate(util::MustParsePrefix("10.1.0.0/16"), config));
+  // Outside the aggregate.
+  EXPECT_FALSE(
+      SuppressedByAggregate(util::MustParsePrefix("10.2.0.0/24"), config));
+  // Non-summary-only aggregates do not suppress.
+  config.bgp.aggregates[0].summary_only = false;
+  EXPECT_FALSE(
+      SuppressedByAggregate(util::MustParsePrefix("10.1.2.0/24"), config));
+}
+
+}  // namespace
+}  // namespace s2::cp

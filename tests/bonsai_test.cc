@@ -1,0 +1,80 @@
+// BonsaiVerifier (compression baseline) tests: per-destination compressed
+// verification, the constant-memory / compute-bound scaling shape, and the
+// modeled deadline.
+#include <gtest/gtest.h>
+
+#include "core/bonsai.h"
+#include "topo/fattree.h"
+
+namespace s2::core {
+namespace {
+
+TEST(BonsaiTest, AllDestinationsReachableOnFatTree) {
+  topo::FatTreeParams params;
+  params.k = 4;
+  auto net = topo::MakeFatTree(params);
+  BonsaiVerifier verifier{BonsaiOptions{}};
+  VerifyResult result = verifier.Verify(net);
+  ASSERT_TRUE(result.ok()) << result.failure_detail;
+  // One verdict per edge host prefix: k^2/4 destinations, all reachable.
+  EXPECT_EQ(result.queries[0].reachable_pairs, 8u);
+  EXPECT_EQ(result.queries[0].unreachable_pairs, 0u);
+}
+
+TEST(BonsaiTest, MemoryStaysConstantAcrossSizes) {
+  size_t peak_small = 0, peak_large = 0;
+  for (int k : {4, 8}) {
+    topo::FatTreeParams params;
+    params.k = k;
+    BonsaiVerifier verifier{BonsaiOptions{}};
+    VerifyResult result = verifier.Verify(topo::MakeFatTree(params));
+    ASSERT_TRUE(result.ok());
+    (k == 4 ? peak_small : peak_large) = result.peak_memory_bytes;
+  }
+  // Compressed instances are constant-size: peaks within 2x of each other
+  // even though the k=8 network is 4x larger.
+  EXPECT_LT(peak_large, 2 * peak_small + 1024);
+}
+
+TEST(BonsaiTest, TimeGrowsWithDestinationCount) {
+  double small = 0, large = 0;
+  for (int k : {4, 8}) {
+    topo::FatTreeParams params;
+    params.k = k;
+    BonsaiVerifier verifier{BonsaiOptions{}};
+    VerifyResult result = verifier.Verify(topo::MakeFatTree(params));
+    ASSERT_TRUE(result.ok());
+    (k == 4 ? small : large) = result.control_plane.wall_seconds;
+  }
+  EXPECT_GT(large, small);
+}
+
+TEST(BonsaiTest, DeadlineProducesTimeoutVerdict) {
+  topo::FatTreeParams params;
+  params.k = 6;
+  BonsaiOptions options;
+  options.cores = 1;
+  options.timeout_seconds = 0.0;  // everything blows the deadline
+  BonsaiVerifier verifier(options);
+  VerifyResult result = verifier.Verify(topo::MakeFatTree(params));
+  EXPECT_EQ(result.status, RunStatus::kTimeout);
+  EXPECT_NE(result.failure_detail.find("deadline"), std::string::npos);
+}
+
+TEST(BonsaiTest, MoreCoresLowerModeledTime) {
+  topo::FatTreeParams params;
+  params.k = 6;
+  double t1 = 0, t15 = 0;
+  for (int cores : {1, 15}) {
+    BonsaiOptions options;
+    options.cores = cores;
+    BonsaiVerifier verifier(options);
+    VerifyResult result = verifier.Verify(topo::MakeFatTree(params));
+    ASSERT_TRUE(result.ok());
+    (cores == 1 ? t1 : t15) = result.control_plane.modeled_seconds;
+  }
+  EXPECT_LT(t15, t1);
+}
+
+}  // namespace
+}  // namespace s2::core

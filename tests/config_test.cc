@@ -1,0 +1,271 @@
+// Config pipeline tests: intent compilation, both vendor dialects'
+// emit -> parse round-trips, dialect sniffing, error reporting, and L3
+// topology inference (the controller's parser stage, §3.2).
+#include <gtest/gtest.h>
+
+#include "config/parser.h"
+#include "config/vendor.h"
+#include "test_networks.h"
+#include "topo/dcn.h"
+#include "topo/fattree.h"
+
+namespace s2::config {
+namespace {
+
+topo::Network SmallFatTree() {
+  topo::FatTreeParams params;
+  params.k = 4;
+  return topo::MakeFatTree(params);
+}
+
+bool SameViConfig(const ViConfig& a, const ViConfig& b) {
+  return a.hostname == b.hostname && a.vendor == b.vendor &&
+         a.loopback == b.loopback && a.interfaces == b.interfaces &&
+         a.route_maps == b.route_maps && a.acls == b.acls &&
+         a.bgp == b.bgp && a.ospf == b.ospf;
+}
+
+class RoundTripTest
+    : public ::testing::TestWithParam<std::tuple<topo::Vendor, int>> {};
+
+TEST_P(RoundTripTest, EmitThenParseIsIdentity) {
+  auto [vendor, node_index] = GetParam();
+  // DCN configs exercise every feature: route maps with every clause kind,
+  // ACLs, aggregates, conditional advertisements, remove-private-as.
+  topo::Network net = topo::MakeDcn(topo::DcnParams{});
+  topo::NodeId id = static_cast<topo::NodeId>(node_index) %
+                    static_cast<topo::NodeId>(net.graph.size());
+  net.intents[id].vendor = vendor;  // force the dialect under test
+  ViConfig original = CompileIntent(net, id);
+  auto reparsed = ParseConfig(EmitConfig(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  EXPECT_TRUE(SameViConfig(original, reparsed.value()))
+      << "round-trip mismatch for " << original.hostname;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VendorsAndNodes, RoundTripTest,
+    ::testing::Combine(::testing::Values(topo::Vendor::kAlpha,
+                                         topo::Vendor::kBeta),
+                       ::testing::Range(0, 54, 7)));
+
+TEST(CompileIntentTest, ComposesExportPolicy) {
+  topo::Network net = topo::MakeDcn(topo::DcnParams{});
+  // A core switch: downward exports overwrite AS_PATH and deny the
+  // destination cluster's tag.
+  topo::NodeId core = net.graph.FindByName("core0");
+  ASSERT_NE(core, topo::kInvalidNode);
+  ViConfig config = CompileIntent(net, core);
+  EXPECT_TRUE(config.bgp.enabled);
+  bool saw_overwrite = false, saw_cluster_deny = false;
+  for (const auto& [name, map] : config.route_maps) {
+    for (const RouteMapClause& clause : map.clauses) {
+      saw_overwrite = saw_overwrite || clause.set_as_path_overwrite;
+      if (!clause.permit) {
+        for (uint32_t c : clause.match_any_community) {
+          saw_cluster_deny =
+              saw_cluster_deny || (c >= 100 && c < 100 + 8);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_overwrite);
+  EXPECT_TRUE(saw_cluster_deny);
+}
+
+TEST(CompileIntentTest, NeighborsMatchInterfaces) {
+  topo::Network net = SmallFatTree();
+  ViConfig config = CompileIntent(net, 0);
+  ASSERT_EQ(config.bgp.neighbors.size(), config.interfaces.size());
+  for (size_t i = 0; i < config.interfaces.size(); ++i) {
+    EXPECT_EQ(config.bgp.neighbors[i].peer_address.bits(),
+              config.interfaces[i].address.bits() ^ 1u);
+    EXPECT_EQ(config.bgp.neighbors[i].via_interface,
+              config.interfaces[i].name);
+  }
+}
+
+// Golden snapshots: the emitted text is the on-the-wire compatibility
+// surface (operators keep config files around), so pin it exactly.
+TEST(EmitConfigTest, GoldenAlpha) {
+  topo::Network net = testing::MakeChain(2);
+  net.intents[0].vendor = topo::Vendor::kAlpha;
+  EXPECT_EQ(EmitConfig(CompileIntent(net, 0)),
+            "hostname r0\n"
+            "!\n"
+            "interface lo0\n"
+            " ip address 172.16.0.0/32\n"
+            "!\n"
+            "interface eth0\n"
+            " ip address 10.128.0.0/31\n"
+            "!\n"
+            "router bgp 65001\n"
+            " maximum-paths 4\n"
+            " network 172.16.0.0/32\n"
+            " network 10.0.0.0/24\n"
+            " neighbor 10.128.0.1 remote-as 65002\n"
+            " neighbor 10.128.0.1 update-source eth0\n"
+            "!\n");
+}
+
+TEST(EmitConfigTest, GoldenBeta) {
+  topo::Network net = testing::MakeChain(2);
+  net.intents[1].vendor = topo::Vendor::kBeta;
+  EXPECT_EQ(EmitConfig(CompileIntent(net, 1)),
+            "set system host-name r1\n"
+            "set interfaces lo0 address 172.16.0.1/32\n"
+            "set interfaces eth0 address 10.128.0.1/31\n"
+            "set protocols bgp local-as 65002\n"
+            "set protocols bgp multipath 4\n"
+            "set protocols bgp network 172.16.0.1/32\n"
+            "set protocols bgp network 10.0.1.0/24\n"
+            "set protocols bgp neighbor 10.128.0.0 peer-as 65001\n"
+            "set protocols bgp neighbor 10.128.0.0 local-interface eth0\n");
+}
+
+// Every route-map feature in one synthetic config, round-tripped through
+// both dialects (the DCN exercises most but not all clause kinds).
+class AllClauseFeaturesTest : public ::testing::TestWithParam<topo::Vendor> {
+};
+
+TEST_P(AllClauseFeaturesTest, RoundTrips) {
+  ViConfig config;
+  config.hostname = "kitchen-sink";
+  config.vendor = GetParam();
+  config.loopback = util::MustParsePrefix("172.16.0.9/32");
+  Interface iface;
+  iface.name = "eth0";
+  iface.address = util::MustParseAddress("10.128.0.0");
+  iface.prefix_length = 31;
+  config.interfaces.push_back(iface);
+
+  RouteMap map;
+  map.name = "SINK";
+  RouteMapClause everything;
+  everything.permit = true;
+  everything.continue_next = true;
+  everything.match_covered_by = util::MustParsePrefix("10.0.0.0/8");
+  everything.match_any_community = {11, 22};
+  everything.set_local_pref = 150;
+  everything.set_med = 42;
+  everything.add_communities = {33, 44};
+  everything.delete_communities = {55};
+  everything.as_path_prepend = 2;
+  RouteMapClause overwrite;
+  overwrite.permit = true;
+  overwrite.set_as_path_overwrite = true;
+  RouteMapClause deny;
+  deny.permit = false;
+  map.clauses = {everything, overwrite, deny};
+  config.route_maps.emplace(map.name, map);
+
+  BgpNeighbor neighbor;
+  neighbor.peer_address = util::MustParseAddress("10.128.0.1");
+  neighbor.remote_as = 65002;
+  neighbor.via_interface = "eth0";
+  neighbor.import_route_map = "SINK";
+  neighbor.export_route_map = "SINK";
+  neighbor.remove_private_as = true;
+  config.bgp.enabled = true;
+  config.bgp.asn = 65001;
+  config.bgp.max_paths = 8;
+  config.bgp.networks = {util::MustParsePrefix("10.9.0.0/24")};
+  config.bgp.neighbors.push_back(neighbor);
+
+  auto reparsed = ParseConfig(EmitConfig(config));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  EXPECT_TRUE(SameViConfig(config, reparsed.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Vendors, AllClauseFeaturesTest,
+                         ::testing::Values(topo::Vendor::kAlpha,
+                                           topo::Vendor::kBeta));
+
+TEST(ParseConfigTest, SniffsDialects) {
+  auto alpha = ParseConfig("hostname x\n!\nrouter bgp 1\n!\n");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(alpha.value().vendor, topo::Vendor::kAlpha);
+  auto beta = ParseConfig("set system host-name x\n");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(beta.value().vendor, topo::Vendor::kBeta);
+}
+
+TEST(ParseConfigTest, ReportsErrors) {
+  EXPECT_FALSE(ParseConfig("").ok());
+  EXPECT_FALSE(ParseConfig("hostname x\nfrobnicate\n").ok());
+  EXPECT_FALSE(ParseConfig("set bogus thing\n").ok());
+  auto r = ParseConfig("hostname x\ninterface eth0\n garbage here\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("interface"), std::string::npos);
+}
+
+TEST(ParseConfigTest, ConsecutiveRouteMapClauses) {
+  auto r = ParseConfig(
+      "hostname x\n"
+      "route-map RM deny 10\n"
+      " match community 999\n"
+      "route-map RM permit 20\n"
+      " set local-preference 150\n"
+      "!\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const RouteMap* map = r.value().FindRouteMap("RM");
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->clauses.size(), 2u);
+  EXPECT_FALSE(map->clauses[0].permit);
+  EXPECT_TRUE(map->clauses[1].permit);
+  EXPECT_EQ(map->clauses[1].set_local_pref, 150u);
+}
+
+TEST(ParseNetworkTest, InfersFatTreeTopology) {
+  topo::Network net = SmallFatTree();
+  ParsedNetwork parsed = ParseNetwork(SynthesizeConfigs(net));
+  ASSERT_EQ(parsed.graph.size(), net.graph.size());
+  EXPECT_EQ(parsed.graph.edge_count(), net.graph.edge_count());
+  // Role/pod/load reconstruction from names.
+  for (topo::NodeId id = 0; id < net.graph.size(); ++id) {
+    EXPECT_EQ(parsed.graph.node(id).name, net.graph.node(id).name);
+    EXPECT_EQ(parsed.graph.node(id).role, net.graph.node(id).role);
+    EXPECT_EQ(parsed.graph.node(id).pod, net.graph.node(id).pod);
+    EXPECT_DOUBLE_EQ(parsed.graph.node(id).load, net.graph.node(id).load);
+  }
+}
+
+TEST(ParseNetworkTest, AddressBookResolvesNeighbors) {
+  topo::Network net = SmallFatTree();
+  ParsedNetwork parsed = ParseNetwork(SynthesizeConfigs(net));
+  for (topo::NodeId id = 0; id < parsed.configs.size(); ++id) {
+    for (const BgpNeighbor& neighbor : parsed.configs[id].bgp.neighbors) {
+      topo::NodeId peer = parsed.FindByAddress(neighbor.peer_address);
+      ASSERT_NE(peer, topo::kInvalidNode);
+      // remote-as in the config matches the peer device's ASN.
+      EXPECT_EQ(neighbor.remote_as, parsed.configs[peer].bgp.asn);
+    }
+  }
+  EXPECT_EQ(parsed.FindByAddress(util::MustParseAddress("203.0.113.9")),
+            topo::kInvalidNode);
+}
+
+TEST(ParseNetworkTest, DcnUsesUniformLoads) {
+  topo::Network net = topo::MakeDcn(topo::DcnParams{});
+  ParsedNetwork parsed = ParseNetwork(SynthesizeConfigs(net));
+  for (topo::NodeId id = 0; id < parsed.graph.size(); ++id) {
+    EXPECT_DOUBLE_EQ(parsed.graph.node(id).load, 1.0);
+  }
+}
+
+TEST(ViConfigTest, Lookups) {
+  topo::Network net = SmallFatTree();
+  ViConfig config = CompileIntent(net, 0);
+  EXPECT_NE(config.FindInterface("eth0"), nullptr);
+  EXPECT_EQ(config.FindInterface("nope"), nullptr);
+  EXPECT_EQ(config.FindRouteMap("nope"), nullptr);
+  EXPECT_EQ(config.FindAcl("nope"), nullptr);
+  Interface iface;
+  iface.address = util::MustParseAddress("10.128.0.5");
+  iface.prefix_length = 31;
+  EXPECT_EQ(ViConfig::ConnectedPrefix(iface),
+            util::MustParsePrefix("10.128.0.4/31"));
+}
+
+}  // namespace
+}  // namespace s2::config

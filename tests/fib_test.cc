@@ -1,0 +1,133 @@
+// FIB construction tests: LPM ordering, protocol merge by admin distance,
+// action classification (forward / arrive / exit / discard), ECMP next
+// hops, and memory accounting.
+#include <gtest/gtest.h>
+
+#include "cp/engine.h"
+#include "dp/fib.h"
+#include "test_networks.h"
+
+namespace s2::dp {
+namespace {
+
+using RouteMap = std::map<util::Ipv4Prefix, std::vector<cp::Route>>;
+
+cp::Route Learned(const std::string& prefix, topo::NodeId from) {
+  cp::Route r;
+  r.prefix = util::MustParsePrefix(prefix);
+  r.protocol = cp::Protocol::kBgp;
+  r.learned_from = from;
+  return r;
+}
+
+cp::Route Local(const std::string& prefix) {
+  cp::Route r;
+  r.prefix = util::MustParsePrefix(prefix);
+  r.protocol = cp::Protocol::kLocal;
+  r.learned_from = topo::kInvalidNode;
+  return r;
+}
+
+const FibEntry* Find(const Fib& fib, const std::string& prefix) {
+  auto p = util::MustParsePrefix(prefix);
+  for (const FibEntry& entry : fib.entries) {
+    if (entry.prefix == p) return &entry;
+  }
+  return nullptr;
+}
+
+TEST(FibTest, LongestPrefixFirstOrdering) {
+  auto net = testing::Parse(testing::MakeChain(2));
+  RouteMap bgp;
+  bgp[util::MustParsePrefix("10.0.0.0/8")] = {Learned("10.0.0.0/8", 1)};
+  bgp[util::MustParsePrefix("10.1.0.0/16")] = {Learned("10.1.0.0/16", 1)};
+  bgp[util::MustParsePrefix("10.1.2.0/24")] = {Learned("10.1.2.0/24", 1)};
+  Fib fib = Fib::Build(net, 0, bgp, {}, nullptr);
+  for (size_t i = 1; i < fib.entries.size(); ++i) {
+    EXPECT_GE(fib.entries[i - 1].prefix.length(),
+              fib.entries[i].prefix.length());
+  }
+}
+
+TEST(FibTest, ActionClassification) {
+  auto net = testing::Parse(testing::MakeChain(2));
+  // Make node 0's config carry an aggregate and a conditional default.
+  config::ViConfig& config = net.configs[0];
+  config.bgp.aggregates.push_back(config::BgpAggregate{
+      util::MustParsePrefix("10.0.0.0/15"), true, {}});
+  config.bgp.cond_advs.push_back(config::BgpCondAdv{
+      util::MustParsePrefix("0.0.0.0/0"),
+      util::MustParsePrefix("10.0.0.0/24"), true});
+
+  RouteMap bgp;
+  bgp[util::MustParsePrefix("10.0.0.0/24")] = {Local("10.0.0.0/24")};
+  bgp[util::MustParsePrefix("10.0.0.0/15")] = {Local("10.0.0.0/15")};
+  bgp[util::MustParsePrefix("0.0.0.0/0")] = {Local("0.0.0.0/0")};
+  bgp[util::MustParsePrefix("10.0.1.0/24")] = {Learned("10.0.1.0/24", 1)};
+  Fib fib = Fib::Build(net, 0, bgp, {}, nullptr);
+
+  EXPECT_EQ(Find(fib, "10.0.0.0/24")->action, FibAction::kArrive);
+  EXPECT_EQ(Find(fib, "10.0.0.0/15")->action, FibAction::kDiscard);
+  EXPECT_EQ(Find(fib, "0.0.0.0/0")->action, FibAction::kExit);
+  const FibEntry* fwd = Find(fib, "10.0.1.0/24");
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(fwd->action, FibAction::kForward);
+  EXPECT_EQ(fwd->next_hops, std::vector<topo::NodeId>{1});
+  // Loopback arrive entry always present.
+  EXPECT_EQ(Find(fib, "172.16.0.0/32")->action, FibAction::kArrive);
+}
+
+TEST(FibTest, EcmpNextHopsDeduplicated) {
+  auto net = testing::Parse(testing::MakeDiamond());
+  RouteMap bgp;
+  bgp[util::MustParsePrefix("10.0.3.0/24")] = {
+      Learned("10.0.3.0/24", 1), Learned("10.0.3.0/24", 2),
+      Learned("10.0.3.0/24", 1)};  // duplicate neighbor
+  Fib fib = Fib::Build(net, 0, bgp, {}, nullptr);
+  EXPECT_EQ(Find(fib, "10.0.3.0/24")->next_hops,
+            (std::vector<topo::NodeId>{1, 2}));
+}
+
+TEST(FibTest, OspfLosesToBgpByAdminDistance) {
+  auto net = testing::Parse(testing::MakeChain(3));
+  RouteMap bgp, ospf;
+  bgp[util::MustParsePrefix("10.0.2.0/24")] = {Learned("10.0.2.0/24", 1)};
+  cp::Route o = Learned("10.0.2.0/24", 2);
+  o.protocol = cp::Protocol::kOspf;
+  ospf[util::MustParsePrefix("10.0.2.0/24")] = {o};
+  Fib fib = Fib::Build(net, 0, bgp, ospf, nullptr);
+  EXPECT_EQ(Find(fib, "10.0.2.0/24")->next_hops,
+            std::vector<topo::NodeId>{1});  // BGP's next hop won
+  // OSPF-only prefixes still enter the FIB.
+  cp::Route lo = Learned("172.16.0.2/32", 1);
+  lo.protocol = cp::Protocol::kOspf;
+  ospf[util::MustParsePrefix("172.16.0.2/32")] = {lo};
+  Fib fib2 = Fib::Build(net, 0, bgp, ospf, nullptr);
+  EXPECT_EQ(Find(fib2, "172.16.0.2/32")->action, FibAction::kForward);
+}
+
+TEST(FibTest, ChargesTracker) {
+  auto net = testing::Parse(testing::MakeChain(2));
+  RouteMap bgp;
+  bgp[util::MustParsePrefix("10.0.1.0/24")] = {Learned("10.0.1.0/24", 1)};
+  util::MemoryTracker tracker("fib");
+  Fib fib = Fib::Build(net, 0, bgp, {}, &tracker);
+  EXPECT_EQ(tracker.live_bytes(), fib.EstimateBytes());
+  EXPECT_GT(fib.EstimateBytes(), 0u);
+}
+
+TEST(FibTest, EndToEndFromConvergedEngine) {
+  auto net = testing::Parse(testing::MakeDiamond());
+  cp::MonoEngine engine(net, nullptr);
+  engine.Run(nullptr, nullptr);
+  Fib fib = Fib::Build(net, 0, engine.node(0).bgp_routes(),
+                       engine.node(0).ospf_routes(), nullptr);
+  const FibEntry* cross = Find(fib, "10.0.3.0/24");
+  ASSERT_NE(cross, nullptr);
+  EXPECT_EQ(cross->action, FibAction::kForward);
+  EXPECT_EQ(cross->next_hops.size(), 2u);  // ECMP via r1 and r2
+  EXPECT_EQ(Find(fib, "10.0.0.0/24")->action, FibAction::kArrive);
+}
+
+}  // namespace
+}  // namespace s2::dp

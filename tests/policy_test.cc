@@ -1,0 +1,191 @@
+// Route-map evaluation tests — including the paper's §2.1 VSB example:
+// the two vendors' divergent remove-private-as semantics.
+#include <gtest/gtest.h>
+
+#include "cp/policy.h"
+
+namespace s2::cp {
+namespace {
+
+Route TestRoute() {
+  Route r;
+  r.prefix = util::MustParsePrefix("10.1.2.0/24");
+  r.local_pref = 100;
+  r.as_path = {65001};
+  return r;
+}
+
+config::RouteMap MapOf(std::vector<config::RouteMapClause> clauses) {
+  config::RouteMap map;
+  map.name = "RM";
+  map.clauses = std::move(clauses);
+  return map;
+}
+
+TEST(ApplyRouteMapTest, NullMapPermitsUnchanged) {
+  Route r = TestRoute();
+  PolicyResult result = ApplyRouteMap(nullptr, r, 65000);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.route, r);
+}
+
+TEST(ApplyRouteMapTest, ImplicitDenyWhenNothingMatches) {
+  config::RouteMapClause clause;
+  clause.permit = true;
+  clause.match_covered_by = util::MustParsePrefix("192.168.0.0/16");
+  auto map = MapOf({clause});
+  EXPECT_FALSE(ApplyRouteMap(&map, TestRoute(), 65000).accepted);
+}
+
+TEST(ApplyRouteMapTest, FirstMatchWins) {
+  config::RouteMapClause deny;
+  deny.permit = false;
+  deny.match_covered_by = util::MustParsePrefix("10.0.0.0/8");
+  config::RouteMapClause permit;
+  permit.permit = true;
+  auto map = MapOf({deny, permit});
+  EXPECT_FALSE(ApplyRouteMap(&map, TestRoute(), 65000).accepted);
+  // Reorder: permit-all first.
+  auto map2 = MapOf({permit, deny});
+  EXPECT_TRUE(ApplyRouteMap(&map2, TestRoute(), 65000).accepted);
+}
+
+TEST(ApplyRouteMapTest, CommunityMatchIsAnyOf) {
+  config::RouteMapClause clause;
+  clause.permit = true;
+  clause.match_any_community = {111, 222};
+  auto map = MapOf({clause});
+  Route r = TestRoute();
+  EXPECT_FALSE(ApplyRouteMap(&map, r, 65000).accepted);
+  r.AddCommunity(222);
+  EXPECT_TRUE(ApplyRouteMap(&map, r, 65000).accepted);
+}
+
+TEST(ApplyRouteMapTest, SetsApplyOnPermit) {
+  config::RouteMapClause clause;
+  clause.permit = true;
+  clause.set_local_pref = 250;
+  clause.add_communities = {42, 7};
+  auto map = MapOf({clause});
+  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 65000);
+  ASSERT_TRUE(result.accepted);
+  EXPECT_EQ(result.route.local_pref, 250u);
+  EXPECT_EQ(result.route.communities, (std::vector<uint32_t>{7, 42}));
+  EXPECT_FALSE(result.as_path_overwritten);
+}
+
+TEST(ApplyRouteMapTest, AsPathOverwriteSetsFlagAndPath) {
+  config::RouteMapClause clause;
+  clause.permit = true;
+  clause.set_as_path_overwrite = true;
+  auto map = MapOf({clause});
+  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 64600);
+  ASSERT_TRUE(result.accepted);
+  EXPECT_TRUE(result.as_path_overwritten);
+  EXPECT_EQ(result.route.as_path, (std::vector<uint32_t>{64600}));
+}
+
+TEST(ApplyRouteMapTest, ContinueAccumulatesAcrossClauses) {
+  // Tag-and-continue (the DCN class-tagging pattern), then final permit.
+  config::RouteMapClause tag;
+  tag.permit = true;
+  tag.continue_next = true;
+  tag.match_covered_by = util::MustParsePrefix("10.0.0.0/8");
+  tag.add_communities = {200};
+  config::RouteMapClause tag2 = tag;
+  tag2.match_covered_by = util::MustParsePrefix("0.0.0.0/0");
+  tag2.add_communities = {77};
+  config::RouteMapClause all;
+  all.permit = true;
+  all.set_local_pref = 130;
+  auto map = MapOf({tag, tag2, all});
+  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 65000);
+  ASSERT_TRUE(result.accepted);
+  EXPECT_TRUE(result.route.HasCommunity(200));
+  EXPECT_TRUE(result.route.HasCommunity(77));
+  EXPECT_EQ(result.route.local_pref, 130u);
+}
+
+TEST(ApplyRouteMapTest, DenyAfterContinueRejects) {
+  config::RouteMapClause tag;
+  tag.permit = true;
+  tag.continue_next = true;
+  tag.add_communities = {5};
+  config::RouteMapClause deny;
+  deny.permit = false;
+  deny.match_any_community = {5};  // matches the freshly-tagged route
+  auto map = MapOf({tag, deny});
+  EXPECT_FALSE(ApplyRouteMap(&map, TestRoute(), 65000).accepted);
+}
+
+TEST(ApplyRouteMapTest, SetMedAndDeleteCommunities) {
+  config::RouteMapClause clause;
+  clause.permit = true;
+  clause.set_med = 77;
+  clause.delete_communities = {100, 500};
+  auto map = MapOf({clause});
+  Route r = TestRoute();
+  r.AddCommunity(100);
+  r.AddCommunity(200);
+  r.AddCommunity(500);
+  PolicyResult result = ApplyRouteMap(&map, r, 65000);
+  ASSERT_TRUE(result.accepted);
+  EXPECT_EQ(result.route.med, 77u);
+  EXPECT_EQ(result.route.communities, (std::vector<uint32_t>{200}));
+}
+
+TEST(ApplyRouteMapTest, DeleteOfAbsentCommunityIsANoop) {
+  config::RouteMapClause clause;
+  clause.permit = true;
+  clause.delete_communities = {42};
+  auto map = MapOf({clause});
+  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 65000);
+  ASSERT_TRUE(result.accepted);
+  EXPECT_TRUE(result.route.communities.empty());
+}
+
+TEST(ApplyRouteMapTest, AsPathPrependLengthensThePath) {
+  config::RouteMapClause clause;
+  clause.permit = true;
+  clause.as_path_prepend = 3;
+  auto map = MapOf({clause});
+  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 64999);
+  ASSERT_TRUE(result.accepted);
+  EXPECT_EQ(result.route.as_path,
+            (std::vector<uint32_t>{64999, 64999, 64999, 65001}));
+  EXPECT_FALSE(result.as_path_overwritten);  // prepend is not overwrite
+}
+
+// The §2.1 vendor-specific behaviour: Alpha removes all private ASNs,
+// Beta only those preceding the first public one.
+TEST(RemovePrivateAsTest, VendorSemanticsDiverge) {
+  std::vector<uint32_t> path = {64512, 64513, 7018, 65000, 3356};
+  auto alpha = path;
+  RemovePrivateAs(alpha, topo::Vendor::kAlpha);
+  EXPECT_EQ(alpha, (std::vector<uint32_t>{7018, 3356}));
+  auto beta = path;
+  RemovePrivateAs(beta, topo::Vendor::kBeta);
+  EXPECT_EQ(beta, (std::vector<uint32_t>{7018, 65000, 3356}));
+}
+
+TEST(RemovePrivateAsTest, AllPrivatePath) {
+  std::vector<uint32_t> path = {64512, 65000};
+  auto alpha = path;
+  RemovePrivateAs(alpha, topo::Vendor::kAlpha);
+  EXPECT_TRUE(alpha.empty());
+  auto beta = path;
+  RemovePrivateAs(beta, topo::Vendor::kBeta);
+  EXPECT_TRUE(beta.empty());
+}
+
+TEST(RemovePrivateAsTest, AllPublicUntouched) {
+  std::vector<uint32_t> path = {7018, 3356};
+  auto copy = path;
+  RemovePrivateAs(copy, topo::Vendor::kAlpha);
+  EXPECT_EQ(copy, path);
+  RemovePrivateAs(copy, topo::Vendor::kBeta);
+  EXPECT_EQ(copy, path);
+}
+
+}  // namespace
+}  // namespace s2::cp

@@ -1,0 +1,95 @@
+// JSON report tests: schema stability, verdict content, escaping, and the
+// file-writing path, checked by string inspection (the schema is small
+// enough to pin directly).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/mono.h"
+#include "core/report.h"
+#include "test_networks.h"
+
+namespace s2::core {
+namespace {
+
+VerifyResult SampleResult() {
+  auto net = testing::Parse(testing::MakeChain(3));
+  dp::Query query;
+  query.header_space.dst = util::MustParsePrefix("10.0.0.0/8");
+  query.sources = {0, 2};
+  query.destinations = {0, 2};
+  MonoVerifier verifier{MonoOptions{}};
+  return verifier.Verify(net, {query});
+}
+
+TEST(ReportTest, ContainsTheHeadlineFields) {
+  std::string json = ToJson(SampleResult());
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_best_routes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_memory_bytes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"control_plane\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"reachable_pairs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"unreachable\":[]"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportTest, FailureDetailIsEscaped) {
+  VerifyResult result;
+  result.status = RunStatus::kOutOfMemory;
+  result.failure_detail = "domain \"worker-1\" \\ exceeded";
+  std::string json = ToJson(result);
+  EXPECT_NE(json.find("\"status\":\"OOM\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"worker-1\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\ exceeded"), std::string::npos);
+}
+
+TEST(ReportTest, UnreachablePairsAreListed) {
+  VerifyResult result;
+  dp::QueryResult query;
+  query.reachability = {{0, 1, 0.25, false}, {1, 0, 1.0, true}};
+  query.unreachable_pairs = 1;
+  query.reachable_pairs = 1;
+  result.queries.push_back(query);
+  std::string json = ToJson(result);
+  EXPECT_NE(json.find("{\"src\":0,\"dst\":1,\"fraction\":0.25}"),
+            std::string::npos);
+  // Reachable pairs are not in the unreachable list.
+  EXPECT_EQ(json.find("\"src\":1,\"dst\":0"), std::string::npos);
+}
+
+TEST(ReportTest, WaypointAndValleyCountsSurface) {
+  VerifyResult result;
+  dp::QueryResult query;
+  query.waypoints = {{7, true}, {9, false}};
+  query.valleys.push_back(dp::ForwardingValley{0, {0, 1, 0}});
+  query.paths_recorded = 3;
+  result.queries.push_back(query);
+  std::string json = ToJson(result);
+  EXPECT_NE(json.find("{\"transit\":7,\"always_traversed\":true}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"transit\":9,\"always_traversed\":false}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"valleys\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"paths_recorded\":3"), std::string::npos);
+}
+
+TEST(ReportTest, WritesToFile) {
+  auto path = std::filesystem::temp_directory_path() / "s2-report-test.json";
+  VerifyResult result = SampleResult();
+  ASSERT_TRUE(WriteJsonReport(result, path.string()));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, ToJson(result) + "\n");
+  std::filesystem::remove(path);
+}
+
+TEST(ReportTest, RejectsUnwritablePath) {
+  VerifyResult result;
+  EXPECT_FALSE(WriteJsonReport(result, "/nonexistent-dir/report.json"));
+}
+
+}  // namespace
+}  // namespace s2::core

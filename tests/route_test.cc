@@ -1,0 +1,151 @@
+// Route value-type tests: the BGP decision process ordering, ECMP
+// equivalence, communities, and wire serialization.
+#include <gtest/gtest.h>
+
+#include "cp/route.h"
+
+namespace s2::cp {
+namespace {
+
+Route BaseRoute() {
+  Route r;
+  r.prefix = util::MustParsePrefix("10.1.2.0/24");
+  r.protocol = Protocol::kBgp;
+  r.local_pref = 100;
+  r.as_path = {65001, 65002};
+  r.origin = 0;
+  r.med = 0;
+  r.origin_node = 7;
+  r.learned_from = 3;
+  return r;
+}
+
+TEST(RouteTest, AdminDistances) {
+  EXPECT_EQ(AdminDistance(Protocol::kConnected), 0u);
+  EXPECT_EQ(AdminDistance(Protocol::kLocal), 5u);
+  EXPECT_EQ(AdminDistance(Protocol::kBgp), 20u);
+  EXPECT_EQ(AdminDistance(Protocol::kOspf), 110u);
+}
+
+TEST(RouteTest, PrivateAsnRange) {
+  EXPECT_FALSE(IsPrivateAsn(64511));
+  EXPECT_TRUE(IsPrivateAsn(64512));
+  EXPECT_TRUE(IsPrivateAsn(65534));
+  EXPECT_FALSE(IsPrivateAsn(65535));
+}
+
+TEST(RouteTest, CommunitiesStaySortedUnique) {
+  Route r = BaseRoute();
+  r.AddCommunity(300);
+  r.AddCommunity(100);
+  r.AddCommunity(200);
+  r.AddCommunity(100);  // duplicate
+  EXPECT_EQ(r.communities, (std::vector<uint32_t>{100, 200, 300}));
+  EXPECT_TRUE(r.HasCommunity(200));
+  EXPECT_FALSE(r.HasCommunity(150));
+}
+
+TEST(BetterRouteTest, DecisionProcessOrder) {
+  Route base = BaseRoute();
+
+  // Lower admin distance wins regardless of anything else.
+  Route local = base;
+  local.protocol = Protocol::kLocal;
+  local.local_pref = 1;
+  EXPECT_TRUE(BetterRoute(local, base));
+
+  // Higher local-pref wins.
+  Route preferred = base;
+  preferred.local_pref = 200;
+  EXPECT_TRUE(BetterRoute(preferred, base));
+  EXPECT_FALSE(BetterRoute(base, preferred));
+
+  // Shorter AS path wins.
+  Route shorter = base;
+  shorter.as_path = {65001};
+  EXPECT_TRUE(BetterRoute(shorter, base));
+
+  // Lower origin wins.
+  Route igp = base;
+  Route incomplete = base;
+  incomplete.origin = 2;
+  EXPECT_TRUE(BetterRoute(igp, incomplete));
+
+  // Lower MED wins.
+  Route low_med = base;
+  Route high_med = base;
+  high_med.med = 50;
+  EXPECT_TRUE(BetterRoute(low_med, high_med));
+
+  // Tie-break: lower learned_from.
+  Route other_neighbor = base;
+  other_neighbor.learned_from = 9;
+  EXPECT_TRUE(BetterRoute(base, other_neighbor));
+}
+
+TEST(BetterRouteTest, StrictWeakOrdering) {
+  Route a = BaseRoute();
+  EXPECT_FALSE(BetterRoute(a, a));  // irreflexive
+  Route b = BaseRoute();
+  b.local_pref = 200;
+  EXPECT_NE(BetterRoute(a, b), BetterRoute(b, a));  // asymmetric
+}
+
+TEST(BetterRouteTest, OspfComparesMetric) {
+  Route a = BaseRoute(), b = BaseRoute();
+  a.protocol = b.protocol = Protocol::kOspf;
+  a.metric = 2;
+  b.metric = 5;
+  EXPECT_TRUE(BetterRoute(a, b));
+}
+
+TEST(EcmpEquivalentTest, MultipathAttributes) {
+  Route a = BaseRoute(), b = BaseRoute();
+  b.learned_from = 9;  // different neighbor is fine
+  b.as_path = {65009, 65010};  // different content, same length
+  EXPECT_TRUE(EcmpEquivalent(a, b));
+  b.as_path = {65009};
+  EXPECT_FALSE(EcmpEquivalent(a, b));  // different length
+  b = BaseRoute();
+  b.local_pref = 200;
+  EXPECT_FALSE(EcmpEquivalent(a, b));
+  b = BaseRoute();
+  b.med = 1;
+  EXPECT_FALSE(EcmpEquivalent(a, b));
+}
+
+TEST(RouteSerializationTest, RoundTripsAnnouncesAndWithdrawals) {
+  Route r = BaseRoute();
+  r.AddCommunity(999);
+  r.med = 42;
+  std::vector<RouteUpdate> updates;
+  updates.push_back(RouteUpdate{r.prefix, false, r});
+  updates.push_back(RouteUpdate{util::MustParsePrefix("0.0.0.0/0"), true,
+                                Route{}});
+  std::vector<uint8_t> bytes;
+  SerializeRoutes(updates, bytes);
+  auto decoded = DeserializeRoutes(bytes);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_FALSE(decoded[0].withdraw);
+  EXPECT_EQ(decoded[0].route, r);
+  EXPECT_TRUE(decoded[1].withdraw);
+  EXPECT_EQ(decoded[1].prefix, util::MustParsePrefix("0.0.0.0/0"));
+}
+
+TEST(RouteSerializationTest, EmptyBatch) {
+  std::vector<uint8_t> bytes;
+  SerializeRoutes({}, bytes);
+  EXPECT_TRUE(DeserializeRoutes(bytes).empty());
+}
+
+TEST(RouteTest, EstimateBytesGrowsWithAttributes) {
+  Route small = BaseRoute();
+  small.as_path.clear();
+  small.communities.clear();
+  Route big = BaseRoute();
+  for (uint32_t i = 0; i < 10; ++i) big.AddCommunity(i);
+  EXPECT_GT(big.EstimateBytes(), small.EstimateBytes());
+}
+
+}  // namespace
+}  // namespace s2::cp

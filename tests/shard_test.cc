@@ -1,0 +1,219 @@
+// Prefix sharding tests (§4.5): universe collection with redistribution
+// closure, DPDG dependency grouping, greedy balance with equal-size
+// shuffling, the runtime merge fallback, and end-to-end equivalence on the
+// DCN (aggregates + conditional advertisements).
+#include <gtest/gtest.h>
+
+#include "cp/engine.h"
+#include "cp/shard.h"
+#include "test_networks.h"
+#include "topo/dcn.h"
+#include "topo/fattree.h"
+
+namespace s2::cp {
+namespace {
+
+TEST(CollectBgpPrefixesTest, GathersAllOriginationSources) {
+  topo::Network net = testing::MakeChain(2);
+  net.intents[0].aggregates.push_back(topo::AggregateIntent{
+      util::MustParsePrefix("10.0.0.0/23"), true, {}});
+  net.intents[1].cond_advs.push_back(topo::CondAdvIntent{
+      util::MustParsePrefix("0.0.0.0/0"),
+      util::MustParsePrefix("10.0.0.0/24"), true});
+  auto parsed = testing::Parse(net);
+  auto prefixes = CollectBgpPrefixes(parsed);
+  std::set<util::Ipv4Prefix> set(prefixes.begin(), prefixes.end());
+  // 2 loopbacks + 2 /24s + aggregate + default (watch already counted).
+  EXPECT_EQ(set.size(), 6u);
+  EXPECT_TRUE(set.count(util::MustParsePrefix("10.0.0.0/23")));
+  EXPECT_TRUE(set.count(util::MustParsePrefix("0.0.0.0/0")));
+}
+
+TEST(CollectBgpPrefixesTest, RedistributionClosureAddsOspfPrefixes) {
+  topo::Network net = testing::MakeChain(2);
+  net.intents[0].enable_ospf = true;
+  net.intents[0].announced.clear();  // loopback only known to OSPF
+  net.intents[1].redistribute_ospf_into_bgp = true;
+  auto parsed = testing::Parse(net);
+  auto prefixes = CollectBgpPrefixes(parsed);
+  std::set<util::Ipv4Prefix> set(prefixes.begin(), prefixes.end());
+  EXPECT_TRUE(set.count(util::MustParsePrefix("172.16.0.0/32")))
+      << "OSPF-contributed prefix missing from the BGP universe";
+}
+
+TEST(BuildShardPlanTest, CoversUniverseExactlyOnce) {
+  topo::FatTreeParams params;
+  params.k = 4;
+  auto parsed = testing::Parse(topo::MakeFatTree(params));
+  ShardPlan plan = BuildShardPlan(parsed, 5);
+  EXPECT_EQ(plan.shards.size(), 5u);
+  auto universe = CollectBgpPrefixes(parsed);
+  EXPECT_EQ(plan.total_prefixes(), universe.size());
+  for (const auto& prefix : universe) {
+    EXPECT_NE(plan.ShardOf(prefix), -1) << prefix.ToString();
+  }
+}
+
+TEST(BuildShardPlanTest, DependentPrefixesShareAShard) {
+  auto parsed = testing::Parse(topo::MakeDcn(topo::DcnParams{}));
+  ShardPlan plan = BuildShardPlan(parsed, 8);
+  // Aggregates sit with every covered contributor.
+  for (const config::ViConfig& config : parsed.configs) {
+    for (const config::BgpAggregate& agg : config.bgp.aggregates) {
+      int shard = plan.ShardOf(agg.prefix);
+      ASSERT_NE(shard, -1);
+      for (const auto& prefix : CollectBgpPrefixes(parsed)) {
+        if (prefix != agg.prefix && agg.prefix.Contains(prefix)) {
+          EXPECT_EQ(plan.ShardOf(prefix), shard)
+              << agg.prefix.ToString() << " vs " << prefix.ToString();
+        }
+      }
+    }
+    for (const config::BgpCondAdv& cond : config.bgp.cond_advs) {
+      EXPECT_EQ(plan.ShardOf(cond.advertise), plan.ShardOf(cond.watch));
+    }
+  }
+}
+
+TEST(BuildShardPlanTest, BalancedSizes) {
+  topo::FatTreeParams params;
+  params.k = 8;
+  auto parsed = testing::Parse(topo::MakeFatTree(params));
+  ShardPlan plan = BuildShardPlan(parsed, 10);
+  size_t smallest = SIZE_MAX, largest = 0;
+  for (const PrefixSet& shard : plan.shards) {
+    smallest = std::min(smallest, shard.size());
+    largest = std::max(largest, shard.size());
+  }
+  // FatTree prefixes are independent singleton components: near-perfect
+  // balance is achievable.
+  EXPECT_LE(largest - smallest, 1u);
+}
+
+TEST(BuildShardPlanTest, SeedShufflesEqualSizedComponents) {
+  topo::FatTreeParams params;
+  params.k = 6;
+  auto parsed = testing::Parse(topo::MakeFatTree(params));
+  ShardPlan a = BuildShardPlan(parsed, 4, 1);
+  ShardPlan b = BuildShardPlan(parsed, 4, 1);
+  ShardPlan c = BuildShardPlan(parsed, 4, 2);
+  EXPECT_EQ(a.shards, b.shards);  // deterministic per seed
+  EXPECT_NE(a.shards, c.shards);  // shuffled across seeds (paper §4.5)
+}
+
+TEST(BuildShardPlanTest, FewerComponentsThanShards) {
+  auto parsed = testing::Parse(testing::MakeChain(2));
+  ShardPlan plan = BuildShardPlan(parsed, 50);
+  EXPECT_LE(plan.shards.size(), 50u);
+  EXPECT_GE(plan.shards.size(), 1u);
+  for (const PrefixSet& shard : plan.shards) EXPECT_FALSE(shard.empty());
+}
+
+TEST(MergeShardsTest, MergesAndReindexes) {
+  auto parsed = testing::Parse(testing::MakeChain(4));
+  ShardPlan plan = BuildShardPlan(parsed, 4);
+  auto a = *plan.shards[0].begin();
+  auto b = *plan.shards[3].begin();
+  size_t before = plan.total_prefixes();
+  int merged = MergeShards(plan, a, b);
+  EXPECT_EQ(merged, 0);
+  EXPECT_EQ(plan.shards.size(), 3u);
+  EXPECT_EQ(plan.total_prefixes(), before);
+  EXPECT_EQ(plan.ShardOf(a), plan.ShardOf(b));
+  // Already together: no-op.
+  EXPECT_EQ(MergeShards(plan, a, b), -1);
+}
+
+TEST(ValidateShardPlanTest, FreshPlansAreClean) {
+  auto parsed = testing::Parse(topo::MakeDcn(topo::DcnParams{}));
+  ShardPlan plan = BuildShardPlan(parsed, 8);
+  EXPECT_TRUE(ValidateShardPlan(parsed, plan).empty());
+  EXPECT_EQ(RepairShardPlan(parsed, plan), 0);
+}
+
+TEST(ValidateShardPlanTest, DetectsSplitDependencies) {
+  auto parsed = testing::Parse(topo::MakeDcn(topo::DcnParams{}));
+  ShardPlan plan = BuildShardPlan(parsed, 8);
+  // Corrupt: move one aggregate away from its contributors.
+  auto agg = util::MustParsePrefix("10.2.0.0/16");
+  int home = plan.ShardOf(agg);
+  ASSERT_GE(home, 0);
+  plan.shards[home].erase(agg);
+  plan.shards[(home + 1) % plan.shards.size()].insert(agg);
+  auto violations = ValidateShardPlan(parsed, plan);
+  EXPECT_FALSE(violations.empty());
+  for (const ShardViolation& violation : violations) {
+    EXPECT_EQ(violation.dependent, agg);
+  }
+}
+
+TEST(ValidateShardPlanTest, DetectsMissingPrefixes) {
+  auto parsed = testing::Parse(topo::MakeDcn(topo::DcnParams{}));
+  ShardPlan plan = BuildShardPlan(parsed, 4);
+  auto dflt = util::MustParsePrefix("0.0.0.0/0");
+  plan.shards[plan.ShardOf(dflt)].erase(dflt);
+  EXPECT_FALSE(ValidateShardPlan(parsed, plan).empty());
+}
+
+// The §7 merge-and-recompute fallback, end to end: corrupt a plan, repair
+// it, and confirm the repaired sharded simulation still matches the
+// unsharded fixed point.
+TEST(RepairShardPlanTest, RepairedPlanComputesCorrectRibs) {
+  auto parsed = testing::Parse(topo::MakeDcn(topo::DcnParams{}));
+  ShardPlan plan = BuildShardPlan(parsed, 8);
+  auto agg = util::MustParsePrefix("10.2.0.0/16");
+  auto dflt = util::MustParsePrefix("0.0.0.0/0");
+  int agg_home = plan.ShardOf(agg);
+  plan.shards[agg_home].erase(agg);
+  plan.shards[(agg_home + 1) % plan.shards.size()].insert(agg);
+  plan.shards[plan.ShardOf(dflt)].erase(dflt);
+
+  int fixes = RepairShardPlan(parsed, plan);
+  EXPECT_GT(fixes, 0);
+  EXPECT_TRUE(ValidateShardPlan(parsed, plan).empty());
+
+  MonoEngine direct(parsed, nullptr);
+  direct.Run(nullptr, nullptr);
+  RibStore store;
+  MonoEngine sharded(parsed, nullptr);
+  sharded.Run(&plan, &store);
+  for (topo::NodeId id = 0; id < parsed.configs.size(); ++id) {
+    ASSERT_EQ(store.ReadAll(id), direct.node(id).bgp_routes());
+  }
+}
+
+TEST(RepairShardPlanTest, RepairsEmptyPlan) {
+  auto parsed = testing::Parse(topo::MakeDcn(topo::DcnParams{}));
+  ShardPlan plan;  // no shards at all
+  int fixes = RepairShardPlan(parsed, plan);
+  EXPECT_GT(fixes, 0);
+  EXPECT_TRUE(ValidateShardPlan(parsed, plan).empty());
+}
+
+// The §4.5 correctness claim, end to end: sharded simulation of the DCN —
+// whose aggregates, conditional advertisements, and community filters are
+// exactly the dependency-heavy features — produces bit-identical RIBs.
+class ShardEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardEquivalenceTest, DcnShardedMatchesUnsharded) {
+  auto parsed = testing::Parse(topo::MakeDcn(topo::DcnParams{}));
+  MonoEngine direct(parsed, nullptr);
+  direct.Run(nullptr, nullptr);
+
+  ShardPlan plan = BuildShardPlan(parsed, GetParam());
+  RibStore store;
+  MonoEngine sharded(parsed, nullptr);
+  sharded.Run(&plan, &store);
+
+  for (topo::NodeId id = 0; id < parsed.configs.size(); ++id) {
+    ASSERT_EQ(store.ReadAll(id), direct.node(id).bgp_routes())
+        << parsed.configs[id].hostname << " with " << GetParam()
+        << " shards";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardEquivalenceTest,
+                         ::testing::Values(2, 3, 7, 16));
+
+}  // namespace
+}  // namespace s2::cp

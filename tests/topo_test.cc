@@ -1,0 +1,275 @@
+// Topology synthesis tests: FatTree structure per the ACORN construction,
+// DCN structure per the paper's §2.3 description, and link addressing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/dcn.h"
+#include "topo/fattree.h"
+
+namespace s2::topo {
+namespace {
+
+TEST(GraphTest, NodesEdgesAdjacency) {
+  Graph g;
+  NodeId a = g.AddNode(NodeInfo{"a", Role::kEdge, 0, 0, 1.0});
+  NodeId b = g.AddNode(NodeInfo{"b", Role::kCore, 1, -1, 2.0});
+  g.AddEdge(a, b);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.neighbors(a), std::vector<NodeId>{b});
+  EXPECT_EQ(g.neighbors(b), std::vector<NodeId>{a});
+  EXPECT_EQ(g.FindByName("b"), b);
+  EXPECT_EQ(g.FindByName("zzz"), kInvalidNode);
+}
+
+class FatTreeSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeSizeTest, StructureMatchesTheConstruction) {
+  int k = GetParam();
+  FatTreeParams params;
+  params.k = k;
+  Network net = MakeFatTree(params);
+  // 5k^2/4 switches; k^3/2 + (k/2)^2 * k = (3/4)k^3... edges:
+  // k pods x (k/2 edges x k/2 aggs) + (k/2 aggs x k/2 cores per pod).
+  EXPECT_EQ(int(net.graph.size()), FatTreeSwitchCount(k));
+  EXPECT_EQ(net.graph.edge_count(), size_t(k) * (k / 2) * (k / 2) * 2);
+
+  int edges = 0, aggs = 0, cores = 0;
+  for (NodeId id = 0; id < net.graph.size(); ++id) {
+    switch (net.graph.node(id).role) {
+      case Role::kEdge:
+        ++edges;
+        EXPECT_GE(net.graph.node(id).pod, 0);
+        break;
+      case Role::kAggregation:
+        ++aggs;
+        break;
+      case Role::kCore:
+        ++cores;
+        EXPECT_EQ(net.graph.node(id).pod, -1);
+        break;
+      default:
+        FAIL();
+    }
+    // Every switch has degree k/2 (edge: up only in this model) or k
+    // (aggregation: k/2 down + k/2 up); cores have k.
+    size_t degree = net.graph.neighbors(id).size();
+    if (net.graph.node(id).role == Role::kAggregation) {
+      EXPECT_EQ(degree, size_t(k));
+    } else if (net.graph.node(id).role == Role::kCore) {
+      EXPECT_EQ(degree, size_t(k));
+    } else {
+      EXPECT_EQ(degree, size_t(k) / 2);
+    }
+  }
+  EXPECT_EQ(edges, k * k / 2);
+  EXPECT_EQ(aggs, k * k / 2);
+  EXPECT_EQ(cores, k * k / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeSizeTest, ::testing::Values(2, 4, 6, 8));
+
+TEST(FatTreeTest, UniqueAsnsAndPrefixes) {
+  FatTreeParams params;
+  params.k = 4;
+  Network net = MakeFatTree(params);
+  std::set<uint32_t> asns;
+  std::set<util::Ipv4Prefix> announced;
+  for (const NodeIntent& intent : net.intents) {
+    EXPECT_TRUE(asns.insert(intent.asn).second) << "duplicate ASN";
+    for (const auto& prefix : intent.announced) {
+      EXPECT_TRUE(announced.insert(prefix).second)
+          << "duplicate prefix " << prefix.ToString();
+    }
+  }
+  // 20 loopbacks + 8 edge host prefixes.
+  EXPECT_EQ(announced.size(), 28u);
+}
+
+TEST(FatTreeTest, LoadEstimatesFollowThePaper) {
+  FatTreeParams params;
+  params.k = 6;
+  Network net = MakeFatTree(params);
+  double k3 = 6.0 * 6.0 * 6.0;
+  for (NodeId id = 0; id < net.graph.size(); ++id) {
+    const NodeInfo& info = net.graph.node(id);
+    EXPECT_DOUBLE_EQ(info.load,
+                     info.role == Role::kEdge ? k3 / 4.0 : k3 / 2.0);
+  }
+}
+
+TEST(FatTreeTest, ExtraPrefixesPerEdge) {
+  FatTreeParams params;
+  params.k = 4;
+  params.extra_prefixes_per_edge = 2;
+  Network net = MakeFatTree(params);
+  for (NodeId id = 0; id < net.graph.size(); ++id) {
+    if (net.graph.node(id).role == Role::kEdge) {
+      // loopback + host /24 + 2 extra
+      EXPECT_EQ(net.intents[id].announced.size(), 4u);
+    }
+  }
+}
+
+TEST(FatTreeTest, RejectsOddK) {
+  FatTreeParams params;
+  params.k = 5;
+  EXPECT_DEATH(MakeFatTree(params), "");
+}
+
+TEST(LinkAddressTest, DoubleAssignmentAborts) {
+  FatTreeParams params;
+  params.k = 4;
+  Network net = MakeFatTree(params);  // already addressed by the generator
+  EXPECT_DEATH(AssignLinkAddresses(net), "");
+}
+
+TEST(LinkAddressTest, PairsShareSlash31) {
+  FatTreeParams params;
+  params.k = 4;
+  Network net = MakeFatTree(params);
+  size_t interface_count = 0;
+  for (NodeId id = 0; id < net.graph.size(); ++id) {
+    for (const InterfaceIntent& iface : net.intents[id].interfaces) {
+      ++interface_count;
+      EXPECT_EQ(iface.prefix_length, 31);
+      // The peer's matching interface holds the XOR-1 address.
+      bool found = false;
+      for (const InterfaceIntent& peer_iface :
+           net.intents[iface.peer].interfaces) {
+        if (peer_iface.name == iface.peer_interface) {
+          EXPECT_EQ(peer_iface.address.bits(), iface.address.bits() ^ 1u);
+          EXPECT_EQ(peer_iface.peer, id);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+  EXPECT_EQ(interface_count, 2 * net.graph.edge_count());
+}
+
+// ------------------------------------------------------------------- DCN
+
+TEST(DcnTest, StructureAndHeterogeneity) {
+  DcnParams params;  // defaults: 2 small + 1 big cluster
+  Network net = MakeDcn(params);
+
+  int tors = 0, borders = 0, cores = 0, spines = 0, fabrics = 0;
+  std::set<int> layers;
+  for (NodeId id = 0; id < net.graph.size(); ++id) {
+    const NodeInfo& info = net.graph.node(id);
+    layers.insert(info.layer);
+    const std::string& name = info.name;
+    if (name.find("-tor") != std::string::npos) ++tors;
+    if (name.find("border") == 0) ++borders;
+    if (name.find("core") == 0) ++cores;
+    if (name.find("-spine") != std::string::npos) ++spines;
+    if (name.find("-fabric") != std::string::npos) ++fabrics;
+  }
+  EXPECT_EQ(tors, 3 * params.pods_per_cluster * params.tors_per_pod);
+  EXPECT_EQ(borders, params.borders);
+  EXPECT_EQ(cores, params.cores);
+  EXPECT_EQ(spines, 3 * params.spines_per_cluster);
+  EXPECT_EQ(fabrics, params.fabrics_per_cluster);  // only the big cluster
+  // Mixed layer depths: 3-layer clusters (0,1,2) and 5-layer (0..4), plus
+  // core (10) and border (11).
+  EXPECT_TRUE(layers.count(4));
+  EXPECT_TRUE(layers.count(10));
+  EXPECT_TRUE(layers.count(11));
+}
+
+TEST(DcnTest, SameLayerSharesAsn) {
+  Network net = MakeDcn(DcnParams{});
+  std::map<int, std::set<uint32_t>> asns_by_layer;
+  for (NodeId id = 0; id < net.graph.size(); ++id) {
+    asns_by_layer[net.graph.node(id).layer].insert(net.intents[id].asn);
+  }
+  for (const auto& [layer, asns] : asns_by_layer) {
+    if (layer == 11) {
+      // Borders are the exception: backbone-facing devices carry unique
+      // public ASNs (they eBGP-peer with each other).
+      EXPECT_EQ(asns.size(), 2u);
+    } else {
+      EXPECT_EQ(asns.size(), 1u) << "layer " << layer;
+    }
+  }
+}
+
+TEST(DcnTest, AggregationOnlyInBigClusterTops) {
+  DcnParams params;
+  Network net = MakeDcn(params);
+  for (NodeId id = 0; id < net.graph.size(); ++id) {
+    const std::string& name = net.graph.node(id).name;
+    bool big_spine = name.rfind("c2-spine", 0) == 0;  // cluster 2 is big
+    if (big_spine) {
+      EXPECT_EQ(net.intents[id].aggregates.size(), 2u) << name;
+      for (const AggregateIntent& agg : net.intents[id].aggregates) {
+        EXPECT_TRUE(agg.summary_only);
+        EXPECT_FALSE(agg.communities.empty());
+      }
+    } else {
+      EXPECT_TRUE(net.intents[id].aggregates.empty()) << name;
+    }
+  }
+}
+
+TEST(DcnTest, BordersGetVsbsCondAdvAndAcl) {
+  Network net = MakeDcn(DcnParams{});
+  int borders_seen = 0;
+  for (NodeId id = 0; id < net.graph.size(); ++id) {
+    if (net.graph.node(id).role != Role::kBorder) continue;
+    ++borders_seen;
+    const NodeIntent& intent = net.intents[id];
+    EXPECT_TRUE(intent.remove_private_as);
+    ASSERT_EQ(intent.cond_advs.size(), 2u);
+    EXPECT_TRUE(intent.cond_advs[0].advertise_if_present);
+    EXPECT_FALSE(intent.cond_advs[1].advertise_if_present);
+    // The border-border session carries the management packet filter.
+    bool has_acl = false;
+    for (const InterfaceIntent& iface : intent.interfaces) {
+      if (net.graph.node(iface.peer).role == Role::kBorder) {
+        has_acl = has_acl || !iface.acl_out.empty();
+      }
+    }
+    EXPECT_TRUE(has_acl);
+  }
+  EXPECT_EQ(borders_seen, 2);
+}
+
+TEST(DcnTest, LayeredLocalPrefAndValleyGuard) {
+  Network net = MakeDcn(DcnParams{});
+  for (NodeId id = 0; id < net.graph.size(); ++id) {
+    int layer = net.graph.node(id).layer;
+    for (const InterfaceIntent& iface : net.intents[id].interfaces) {
+      int peer_layer = net.graph.node(iface.peer).layer;
+      if (peer_layer < layer) {
+        EXPECT_EQ(iface.import_local_pref, 200u);
+      } else {
+        // Routes from above/sideways get the valley-guard tag which is
+        // denied on this very interface's exports.
+        EXPECT_EQ(iface.import_tag_communities.size(), 1u);
+        EXPECT_EQ(iface.import_tag_communities[0], kFromAboveCommunity);
+        bool denied = false;
+        for (uint32_t c : iface.export_policy.deny_export_communities) {
+          denied = denied || c == kFromAboveCommunity;
+        }
+        EXPECT_TRUE(denied);
+      }
+    }
+  }
+}
+
+TEST(DcnTest, MixedVendors) {
+  Network net = MakeDcn(DcnParams{});
+  int alpha = 0, beta = 0;
+  for (const NodeIntent& intent : net.intents) {
+    (intent.vendor == Vendor::kAlpha ? alpha : beta)++;
+  }
+  EXPECT_GT(alpha, 0);
+  EXPECT_GT(beta, 0);
+}
+
+}  // namespace
+}  // namespace s2::topo

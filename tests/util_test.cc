@@ -1,0 +1,241 @@
+// Unit tests for the util layer: addresses/prefixes, memory accounting,
+// strings, deterministic randomness, the thread pool, and the cost model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/cost_model.h"
+#include "util/ip.h"
+#include "util/memory_tracker.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace s2::util {
+namespace {
+
+// ------------------------------------------------------------------- IP
+
+TEST(Ipv4AddressTest, ParsesAndFormats) {
+  auto addr = Ipv4Address::Parse("10.1.2.3");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->bits(), 0x0A010203u);
+  EXPECT_EQ(addr->ToString(), "10.1.2.3");
+}
+
+TEST(Ipv4AddressTest, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::Parse("10.1.2"));
+  EXPECT_FALSE(Ipv4Address::Parse("10.1.2.256"));
+  EXPECT_FALSE(Ipv4Address::Parse("10.1.2.3.4"));
+  EXPECT_FALSE(Ipv4Address::Parse("banana"));
+  EXPECT_FALSE(Ipv4Address::Parse(""));
+}
+
+TEST(Ipv4AddressTest, Ordering) {
+  EXPECT_LT(MustParseAddress("10.0.0.1"), MustParseAddress("10.0.0.2"));
+  EXPECT_LT(MustParseAddress("9.255.255.255"), MustParseAddress("10.0.0.0"));
+}
+
+TEST(Ipv4PrefixTest, ParsesAndCanonicalizes) {
+  auto prefix = Ipv4Prefix::Parse("10.1.2.3/24");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->address().ToString(), "10.1.2.0");  // host bits cleared
+  EXPECT_EQ(prefix->length(), 24);
+  EXPECT_EQ(prefix->ToString(), "10.1.2.0/24");
+}
+
+TEST(Ipv4PrefixTest, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::Parse("10.1.2.0"));
+  EXPECT_FALSE(Ipv4Prefix::Parse("10.1.2.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::Parse("10.1.2.0/-1"));
+  EXPECT_FALSE(Ipv4Prefix::Parse("10.1.2.0/2x"));
+}
+
+TEST(Ipv4PrefixTest, Masks) {
+  EXPECT_EQ(MustParsePrefix("0.0.0.0/0").Mask(), 0u);
+  EXPECT_EQ(MustParsePrefix("10.0.0.0/8").Mask(), 0xFF000000u);
+  EXPECT_EQ(MustParsePrefix("1.2.3.4/32").Mask(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4PrefixTest, ContainsAddress) {
+  auto p = MustParsePrefix("10.1.0.0/16");
+  EXPECT_TRUE(p.Contains(MustParseAddress("10.1.2.3")));
+  EXPECT_TRUE(p.Contains(MustParseAddress("10.1.255.255")));
+  EXPECT_FALSE(p.Contains(MustParseAddress("10.2.0.0")));
+}
+
+TEST(Ipv4PrefixTest, ContainsPrefix) {
+  auto p16 = MustParsePrefix("10.1.0.0/16");
+  EXPECT_TRUE(p16.Contains(MustParsePrefix("10.1.2.0/24")));
+  EXPECT_TRUE(p16.Contains(p16));  // reflexive
+  EXPECT_FALSE(p16.Contains(MustParsePrefix("10.0.0.0/8")));  // coarser
+  EXPECT_FALSE(p16.Contains(MustParsePrefix("10.2.0.0/24")));
+  EXPECT_TRUE(MustParsePrefix("0.0.0.0/0").Contains(p16));
+}
+
+// Property sweep: canonicalization is idempotent and Contains is
+// consistent with mask arithmetic over assorted lengths.
+class PrefixLengthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixLengthTest, CanonicalAndSelfContaining) {
+  uint8_t len = static_cast<uint8_t>(GetParam());
+  Ipv4Prefix p(MustParseAddress("172.31.93.201"), len);
+  Ipv4Prefix again(p.address(), len);
+  EXPECT_EQ(p, again);
+  EXPECT_TRUE(p.Contains(p.address()));
+  EXPECT_EQ(p.address().bits() & ~p.Mask(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixLengthTest,
+                         ::testing::Values(0, 1, 7, 8, 15, 16, 23, 24, 31,
+                                           32));
+
+// --------------------------------------------------------------- strings
+
+TEST(StringUtilTest, SplitTokens) {
+  EXPECT_EQ(SplitTokens("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitTokens("  a\tb "), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(SplitTokens("").empty());
+  EXPECT_TRUE(SplitTokens("   ").empty());
+}
+
+TEST(StringUtilTest, SplitLines) {
+  EXPECT_EQ(SplitLines("a\nb\n\nc"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitLines("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringUtilTest, TrimAndStartsWith) {
+  EXPECT_EQ(Trim("  x y \r\n"), "x y");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_TRUE(StartsWith("route-map X", "route-map"));
+  EXPECT_FALSE(StartsWith("rm", "route-map"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+// ------------------------------------------------------- memory tracking
+
+TEST(MemoryTrackerTest, ChargesAndReleases) {
+  MemoryTracker tracker("t");
+  tracker.Charge(100);
+  tracker.Charge(50);
+  EXPECT_EQ(tracker.live_bytes(), 150u);
+  EXPECT_EQ(tracker.peak_bytes(), 150u);
+  tracker.Release(120);
+  EXPECT_EQ(tracker.live_bytes(), 30u);
+  EXPECT_EQ(tracker.peak_bytes(), 150u);  // peak sticks
+}
+
+TEST(MemoryTrackerTest, ReleaseClampsToZero) {
+  MemoryTracker tracker("t");
+  tracker.Charge(10);
+  tracker.Release(100);
+  EXPECT_EQ(tracker.live_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, BudgetEnforcedWithSimulatedOom) {
+  MemoryTracker tracker("worker-3", 1000);
+  tracker.Charge(900);
+  EXPECT_THROW(tracker.Charge(200), SimulatedOom);
+  // The failed charge must not leak into the live count.
+  EXPECT_EQ(tracker.live_bytes(), 900u);
+  try {
+    tracker.Charge(200);
+    FAIL();
+  } catch (const SimulatedOom& oom) {
+    EXPECT_EQ(oom.domain(), "worker-3");
+  }
+}
+
+TEST(MemoryTrackerTest, PressureAndReleaseAll) {
+  MemoryTracker tracker("t", 1000);
+  tracker.Charge(700);
+  EXPECT_DOUBLE_EQ(tracker.pressure(), 0.7);
+  tracker.ReleaseAll();
+  EXPECT_EQ(tracker.live_bytes(), 0u);
+  EXPECT_EQ(tracker.peak_bytes(), 700u);
+  MemoryTracker unlimited("u");
+  unlimited.Charge(1 << 20);
+  EXPECT_DOUBLE_EQ(unlimited.pressure(), 0.0);
+}
+
+// ------------------------------------------------------------ cost model
+
+TEST(CostModelTest, GcPenaltyKicksInPastThreshold) {
+  CostModelParams params;
+  params.gc_pressure_threshold = 0.5;
+  params.gc_seconds_per_gb = 2.0;
+  MemoryTracker cold("c", 1000);
+  cold.Charge(400);
+  EXPECT_DOUBLE_EQ(GcPenaltySeconds(cold, params), 0.0);
+  MemoryTracker hot("h", 1'000'000'000);
+  hot.Charge(600'000'000);
+  EXPECT_NEAR(GcPenaltySeconds(hot, params), 1.2, 1e-9);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, BelowStaysBelow) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(v);
+  EXPECT_EQ(std::set<int>(v.begin(), v.end()),
+            std::set<int>(original.begin(), original.end()));
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    int64_t x = rng.Between(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+  }
+}
+
+// ----------------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, RunsAllIterations) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(100, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [&](size_t i) {
+                                  if (i == 3) {
+                                    throw SimulatedTimeout("boom");
+                                  }
+                                }),
+               SimulatedTimeout);
+}
+
+TEST(ThreadPoolTest, SubmitFutureResolves) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace s2::util

@@ -1,0 +1,145 @@
+// What-if analysis tests: link removal, device failure, reachability
+// diffing, and the FatTree resilience properties they should expose
+// (ECMP tolerates single link failures; cutting a rack's uplinks does not).
+#include <gtest/gtest.h>
+
+#include "core/mono.h"
+#include "core/whatif.h"
+#include "test_networks.h"
+#include "topo/fattree.h"
+
+namespace s2::core {
+namespace {
+
+dp::Query EdgeQuery(const config::ParsedNetwork& net) {
+  dp::Query query;
+  query.header_space.dst = util::MustParsePrefix("10.0.0.0/8");
+  for (topo::NodeId id = 0; id < net.graph.size(); ++id) {
+    if (net.graph.node(id).role == topo::Role::kEdge) {
+      query.sources.push_back(id);
+      query.destinations.push_back(id);
+    }
+  }
+  return query;
+}
+
+dp::QueryResult Verify(const config::ParsedNetwork& net,
+                    const dp::Query& query) {
+  MonoVerifier verifier{MonoOptions{}};
+  VerifyResult result = verifier.Verify(net, {query});
+  EXPECT_TRUE(result.ok()) << result.failure_detail;
+  return result.queries.at(0);
+}
+
+TEST(RemoveLinkTest, RemovesInterfacesSessionsAndEdges) {
+  auto net = testing::Parse(testing::MakeDiamond());
+  auto cut = RemoveLink(net, 0, 1);
+  EXPECT_EQ(cut.graph.edge_count(), net.graph.edge_count() - 1);
+  EXPECT_EQ(cut.configs[0].interfaces.size(),
+            net.configs[0].interfaces.size() - 1);
+  EXPECT_EQ(cut.configs[0].bgp.neighbors.size(),
+            net.configs[0].bgp.neighbors.size() - 1);
+  EXPECT_EQ(cut.configs[1].interfaces.size(),
+            net.configs[1].interfaces.size() - 1);
+  // Unrelated devices untouched.
+  EXPECT_EQ(cut.configs[2].interfaces, net.configs[2].interfaces);
+  // The original is unmodified (pure copy semantics).
+  EXPECT_EQ(net.configs[0].interfaces.size(), 2u);
+}
+
+TEST(RemoveLinkTest, NoSuchLinkIsAPureCopy) {
+  auto net = testing::Parse(testing::MakeChain(3));
+  auto copy = RemoveLink(net, 0, 2);  // r0 and r2 are not adjacent
+  EXPECT_EQ(copy.graph.edge_count(), net.graph.edge_count());
+  EXPECT_EQ(copy.configs[0].interfaces, net.configs[0].interfaces);
+}
+
+TEST(RemoveLinkTest, EcmpAbsorbsSingleFatTreeLinkLoss) {
+  topo::FatTreeParams params;
+  params.k = 4;
+  auto net = testing::Parse(topo::MakeFatTree(params));
+  dp::Query query = EdgeQuery(net);
+  dp::QueryResult before = Verify(net, query);
+
+  // Fail one edge->aggregation uplink: the other uplink carries on.
+  auto cut = RemoveLink(net, net.graph.FindByName("edge-0-0"),
+                        net.graph.FindByName("agg-0-0"));
+  dp::QueryResult after = Verify(cut, query);
+  EXPECT_EQ(after.unreachable_pairs, 0u);
+  EXPECT_TRUE(DiffReachability(before, after).empty());
+}
+
+TEST(RemoveLinkTest, CuttingBothUplinksIsolatesTheRack) {
+  topo::FatTreeParams params;
+  params.k = 4;
+  auto net = testing::Parse(topo::MakeFatTree(params));
+  dp::Query query = EdgeQuery(net);
+  dp::QueryResult before = Verify(net, query);
+
+  topo::NodeId victim = net.graph.FindByName("edge-0-0");
+  auto cut = RemoveLink(net, victim, net.graph.FindByName("agg-0-0"));
+  cut = RemoveLink(cut, victim, net.graph.FindByName("agg-0-1"));
+  dp::QueryResult after = Verify(cut, query);
+  auto changes = DiffReachability(before, after);
+  // Every pair touching the victim flipped to unreachable: 7 as source +
+  // 7 as destination.
+  EXPECT_EQ(changes.size(), 14u);
+  for (const ReachabilityChange& change : changes) {
+    EXPECT_TRUE(change.src == victim || change.dst == victim);
+    EXPECT_TRUE(change.was_reachable);
+    EXPECT_FALSE(change.now_reachable);
+  }
+}
+
+TEST(FailNodeTest, CoreLossIsAbsorbedAggLossIsNotFatal) {
+  topo::FatTreeParams params;
+  params.k = 4;
+  auto net = testing::Parse(topo::MakeFatTree(params));
+  dp::Query query = EdgeQuery(net);
+  dp::QueryResult before = Verify(net, query);
+
+  // Any single core can fail without losing reachability.
+  auto no_core = FailNode(net, net.graph.FindByName("core-0-0"));
+  EXPECT_TRUE(DiffReachability(before, Verify(no_core, query)).empty());
+
+  // A single aggregation switch is also survivable in FatTree(4).
+  auto no_agg = FailNode(net, net.graph.FindByName("agg-0-0"));
+  EXPECT_TRUE(DiffReachability(before, Verify(no_agg, query)).empty());
+
+  // Failing an edge switch kills exactly its pairs.
+  topo::NodeId victim = net.graph.FindByName("edge-1-1");
+  auto no_edge = FailNode(net, victim);
+  auto changes = DiffReachability(before, Verify(no_edge, query));
+  EXPECT_EQ(changes.size(), 14u);
+}
+
+TEST(FailNodeTest, FailedDeviceKeepsItsIdForStableDiffs) {
+  auto net = testing::Parse(testing::MakeChain(3));
+  auto failed = FailNode(net, 1);
+  EXPECT_EQ(failed.graph.size(), net.graph.size());  // ids stable
+  EXPECT_TRUE(failed.configs[1].interfaces.empty());
+  EXPECT_TRUE(failed.configs[1].bgp.neighbors.empty());
+  EXPECT_EQ(failed.graph.edge_count(), 0u);  // chain fully severed
+}
+
+TEST(DiffReachabilityTest, ReportsBothDirectionsOfChange) {
+  dp::QueryResult before, after;
+  before.reachability = {{0, 1, 1.0, true}, {1, 0, 0.0, false}};
+  after.reachability = {{0, 1, 0.0, false}, {1, 0, 1.0, true}};
+  auto changes = DiffReachability(before, after);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_FALSE(changes[0].now_reachable);  // (0,1) lost
+  EXPECT_TRUE(changes[1].now_reachable);   // (1,0) gained
+}
+
+TEST(DiffReachabilityTest, NewPairsCountAsGained) {
+  dp::QueryResult before, after;
+  after.reachability = {{2, 3, 1.0, true}};
+  auto changes = DiffReachability(before, after);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_FALSE(changes[0].was_reachable);
+  EXPECT_TRUE(changes[0].now_reachable);
+}
+
+}  // namespace
+}  // namespace s2::core
