@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefix_parallel.dir/bench/ablation_prefix_parallel.cc.o"
+  "CMakeFiles/ablation_prefix_parallel.dir/bench/ablation_prefix_parallel.cc.o.d"
+  "bench/ablation_prefix_parallel"
+  "bench/ablation_prefix_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefix_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dpv.dir/bench/fig10_dpv.cc.o"
+  "CMakeFiles/fig10_dpv.dir/bench/fig10_dpv.cc.o.d"
+  "bench/fig10_dpv"
+  "bench/fig10_dpv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dpv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dcn.dir/bench/fig4_dcn.cc.o"
+  "CMakeFiles/fig4_dcn.dir/bench/fig4_dcn.cc.o.d"
+  "bench/fig4_dcn"
+  "bench/fig4_dcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

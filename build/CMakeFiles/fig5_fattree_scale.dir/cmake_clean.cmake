@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fattree_scale.dir/bench/fig5_fattree_scale.cc.o"
+  "CMakeFiles/fig5_fattree_scale.dir/bench/fig5_fattree_scale.cc.o.d"
+  "bench/fig5_fattree_scale"
+  "bench/fig5_fattree_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fattree_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

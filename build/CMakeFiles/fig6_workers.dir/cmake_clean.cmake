@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_workers.dir/bench/fig6_workers.cc.o"
+  "CMakeFiles/fig6_workers.dir/bench/fig6_workers.cc.o.d"
+  "bench/fig6_workers"
+  "bench/fig6_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_partition.dir/bench/fig7_partition.cc.o"
+  "CMakeFiles/fig7_partition.dir/bench/fig7_partition.cc.o.d"
+  "bench/fig7_partition"
+  "bench/fig7_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

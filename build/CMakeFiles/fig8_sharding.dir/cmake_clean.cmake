@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sharding.dir/bench/fig8_sharding.cc.o"
+  "CMakeFiles/fig8_sharding.dir/bench/fig8_sharding.cc.o.d"
+  "bench/fig8_sharding"
+  "bench/fig8_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_shard_count.dir/bench/fig9_shard_count.cc.o"
+  "CMakeFiles/fig9_shard_count.dir/bench/fig9_shard_count.cc.o.d"
+  "bench/fig9_shard_count"
+  "bench/fig9_shard_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_shard_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_policy_check.dir/dcn_policy_check.cpp.o"
+  "CMakeFiles/dcn_policy_check.dir/dcn_policy_check.cpp.o.d"
+  "dcn_policy_check"
+  "dcn_policy_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_policy_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

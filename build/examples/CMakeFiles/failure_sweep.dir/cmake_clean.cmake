@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_sweep.dir/failure_sweep.cpp.o"
+  "CMakeFiles/failure_sweep.dir/failure_sweep.cpp.o.d"
+  "failure_sweep"
+  "failure_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fattree_audit.dir/fattree_audit.cpp.o"
+  "CMakeFiles/fattree_audit.dir/fattree_audit.cpp.o.d"
+  "fattree_audit"
+  "fattree_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fattree_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2cli.dir/s2cli.cpp.o"
+  "CMakeFiles/s2cli.dir/s2cli.cpp.o.d"
+  "s2cli"
+  "s2cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/bdd.cc" "src/CMakeFiles/s2_bdd.dir/bdd/bdd.cc.o" "gcc" "src/CMakeFiles/s2_bdd.dir/bdd/bdd.cc.o.d"
+  "/root/repo/src/bdd/bdd_io.cc" "src/CMakeFiles/s2_bdd.dir/bdd/bdd_io.cc.o" "gcc" "src/CMakeFiles/s2_bdd.dir/bdd/bdd_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_bdd.dir/bdd/bdd.cc.o"
+  "CMakeFiles/s2_bdd.dir/bdd/bdd.cc.o.d"
+  "CMakeFiles/s2_bdd.dir/bdd/bdd_io.cc.o"
+  "CMakeFiles/s2_bdd.dir/bdd/bdd_io.cc.o.d"
+  "libs2_bdd.a"
+  "libs2_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/parser.cc" "src/CMakeFiles/s2_config.dir/config/parser.cc.o" "gcc" "src/CMakeFiles/s2_config.dir/config/parser.cc.o.d"
+  "/root/repo/src/config/vendor.cc" "src/CMakeFiles/s2_config.dir/config/vendor.cc.o" "gcc" "src/CMakeFiles/s2_config.dir/config/vendor.cc.o.d"
+  "/root/repo/src/config/vi_model.cc" "src/CMakeFiles/s2_config.dir/config/vi_model.cc.o" "gcc" "src/CMakeFiles/s2_config.dir/config/vi_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s2_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

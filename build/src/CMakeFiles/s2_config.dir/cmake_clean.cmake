@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_config.dir/config/parser.cc.o"
+  "CMakeFiles/s2_config.dir/config/parser.cc.o.d"
+  "CMakeFiles/s2_config.dir/config/vendor.cc.o"
+  "CMakeFiles/s2_config.dir/config/vendor.cc.o.d"
+  "CMakeFiles/s2_config.dir/config/vi_model.cc.o"
+  "CMakeFiles/s2_config.dir/config/vi_model.cc.o.d"
+  "libs2_config.a"
+  "libs2_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

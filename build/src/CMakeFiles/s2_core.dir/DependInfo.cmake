@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bonsai.cc" "src/CMakeFiles/s2_core.dir/core/bonsai.cc.o" "gcc" "src/CMakeFiles/s2_core.dir/core/bonsai.cc.o.d"
+  "/root/repo/src/core/mono.cc" "src/CMakeFiles/s2_core.dir/core/mono.cc.o" "gcc" "src/CMakeFiles/s2_core.dir/core/mono.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/s2_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/s2_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/results.cc" "src/CMakeFiles/s2_core.dir/core/results.cc.o" "gcc" "src/CMakeFiles/s2_core.dir/core/results.cc.o.d"
+  "/root/repo/src/core/s2.cc" "src/CMakeFiles/s2_core.dir/core/s2.cc.o" "gcc" "src/CMakeFiles/s2_core.dir/core/s2.cc.o.d"
+  "/root/repo/src/core/whatif.cc" "src/CMakeFiles/s2_core.dir/core/whatif.cc.o" "gcc" "src/CMakeFiles/s2_core.dir/core/whatif.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s2_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

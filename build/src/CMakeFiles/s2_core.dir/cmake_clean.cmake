@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_core.dir/core/bonsai.cc.o"
+  "CMakeFiles/s2_core.dir/core/bonsai.cc.o.d"
+  "CMakeFiles/s2_core.dir/core/mono.cc.o"
+  "CMakeFiles/s2_core.dir/core/mono.cc.o.d"
+  "CMakeFiles/s2_core.dir/core/report.cc.o"
+  "CMakeFiles/s2_core.dir/core/report.cc.o.d"
+  "CMakeFiles/s2_core.dir/core/results.cc.o"
+  "CMakeFiles/s2_core.dir/core/results.cc.o.d"
+  "CMakeFiles/s2_core.dir/core/s2.cc.o"
+  "CMakeFiles/s2_core.dir/core/s2.cc.o.d"
+  "CMakeFiles/s2_core.dir/core/whatif.cc.o"
+  "CMakeFiles/s2_core.dir/core/whatif.cc.o.d"
+  "libs2_core.a"
+  "libs2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

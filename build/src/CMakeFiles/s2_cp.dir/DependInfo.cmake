@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cp/bgp.cc" "src/CMakeFiles/s2_cp.dir/cp/bgp.cc.o" "gcc" "src/CMakeFiles/s2_cp.dir/cp/bgp.cc.o.d"
+  "/root/repo/src/cp/engine.cc" "src/CMakeFiles/s2_cp.dir/cp/engine.cc.o" "gcc" "src/CMakeFiles/s2_cp.dir/cp/engine.cc.o.d"
+  "/root/repo/src/cp/node.cc" "src/CMakeFiles/s2_cp.dir/cp/node.cc.o" "gcc" "src/CMakeFiles/s2_cp.dir/cp/node.cc.o.d"
+  "/root/repo/src/cp/ospf.cc" "src/CMakeFiles/s2_cp.dir/cp/ospf.cc.o" "gcc" "src/CMakeFiles/s2_cp.dir/cp/ospf.cc.o.d"
+  "/root/repo/src/cp/policy.cc" "src/CMakeFiles/s2_cp.dir/cp/policy.cc.o" "gcc" "src/CMakeFiles/s2_cp.dir/cp/policy.cc.o.d"
+  "/root/repo/src/cp/rib.cc" "src/CMakeFiles/s2_cp.dir/cp/rib.cc.o" "gcc" "src/CMakeFiles/s2_cp.dir/cp/rib.cc.o.d"
+  "/root/repo/src/cp/route.cc" "src/CMakeFiles/s2_cp.dir/cp/route.cc.o" "gcc" "src/CMakeFiles/s2_cp.dir/cp/route.cc.o.d"
+  "/root/repo/src/cp/shard.cc" "src/CMakeFiles/s2_cp.dir/cp/shard.cc.o" "gcc" "src/CMakeFiles/s2_cp.dir/cp/shard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s2_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_cp.dir/cp/bgp.cc.o"
+  "CMakeFiles/s2_cp.dir/cp/bgp.cc.o.d"
+  "CMakeFiles/s2_cp.dir/cp/engine.cc.o"
+  "CMakeFiles/s2_cp.dir/cp/engine.cc.o.d"
+  "CMakeFiles/s2_cp.dir/cp/node.cc.o"
+  "CMakeFiles/s2_cp.dir/cp/node.cc.o.d"
+  "CMakeFiles/s2_cp.dir/cp/ospf.cc.o"
+  "CMakeFiles/s2_cp.dir/cp/ospf.cc.o.d"
+  "CMakeFiles/s2_cp.dir/cp/policy.cc.o"
+  "CMakeFiles/s2_cp.dir/cp/policy.cc.o.d"
+  "CMakeFiles/s2_cp.dir/cp/rib.cc.o"
+  "CMakeFiles/s2_cp.dir/cp/rib.cc.o.d"
+  "CMakeFiles/s2_cp.dir/cp/route.cc.o"
+  "CMakeFiles/s2_cp.dir/cp/route.cc.o.d"
+  "CMakeFiles/s2_cp.dir/cp/shard.cc.o"
+  "CMakeFiles/s2_cp.dir/cp/shard.cc.o.d"
+  "libs2_cp.a"
+  "libs2_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

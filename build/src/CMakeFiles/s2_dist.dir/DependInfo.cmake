@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/controller.cc" "src/CMakeFiles/s2_dist.dir/dist/controller.cc.o" "gcc" "src/CMakeFiles/s2_dist.dir/dist/controller.cc.o.d"
+  "/root/repo/src/dist/cpo.cc" "src/CMakeFiles/s2_dist.dir/dist/cpo.cc.o" "gcc" "src/CMakeFiles/s2_dist.dir/dist/cpo.cc.o.d"
+  "/root/repo/src/dist/dpo.cc" "src/CMakeFiles/s2_dist.dir/dist/dpo.cc.o" "gcc" "src/CMakeFiles/s2_dist.dir/dist/dpo.cc.o.d"
+  "/root/repo/src/dist/message.cc" "src/CMakeFiles/s2_dist.dir/dist/message.cc.o" "gcc" "src/CMakeFiles/s2_dist.dir/dist/message.cc.o.d"
+  "/root/repo/src/dist/shadow.cc" "src/CMakeFiles/s2_dist.dir/dist/shadow.cc.o" "gcc" "src/CMakeFiles/s2_dist.dir/dist/shadow.cc.o.d"
+  "/root/repo/src/dist/sidecar.cc" "src/CMakeFiles/s2_dist.dir/dist/sidecar.cc.o" "gcc" "src/CMakeFiles/s2_dist.dir/dist/sidecar.cc.o.d"
+  "/root/repo/src/dist/worker.cc" "src/CMakeFiles/s2_dist.dir/dist/worker.cc.o" "gcc" "src/CMakeFiles/s2_dist.dir/dist/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s2_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_dist.dir/dist/controller.cc.o"
+  "CMakeFiles/s2_dist.dir/dist/controller.cc.o.d"
+  "CMakeFiles/s2_dist.dir/dist/cpo.cc.o"
+  "CMakeFiles/s2_dist.dir/dist/cpo.cc.o.d"
+  "CMakeFiles/s2_dist.dir/dist/dpo.cc.o"
+  "CMakeFiles/s2_dist.dir/dist/dpo.cc.o.d"
+  "CMakeFiles/s2_dist.dir/dist/message.cc.o"
+  "CMakeFiles/s2_dist.dir/dist/message.cc.o.d"
+  "CMakeFiles/s2_dist.dir/dist/shadow.cc.o"
+  "CMakeFiles/s2_dist.dir/dist/shadow.cc.o.d"
+  "CMakeFiles/s2_dist.dir/dist/sidecar.cc.o"
+  "CMakeFiles/s2_dist.dir/dist/sidecar.cc.o.d"
+  "CMakeFiles/s2_dist.dir/dist/worker.cc.o"
+  "CMakeFiles/s2_dist.dir/dist/worker.cc.o.d"
+  "libs2_dist.a"
+  "libs2_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

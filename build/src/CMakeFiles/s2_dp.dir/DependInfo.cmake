@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/fib.cc" "src/CMakeFiles/s2_dp.dir/dp/fib.cc.o" "gcc" "src/CMakeFiles/s2_dp.dir/dp/fib.cc.o.d"
+  "/root/repo/src/dp/forwarding.cc" "src/CMakeFiles/s2_dp.dir/dp/forwarding.cc.o" "gcc" "src/CMakeFiles/s2_dp.dir/dp/forwarding.cc.o.d"
+  "/root/repo/src/dp/packet.cc" "src/CMakeFiles/s2_dp.dir/dp/packet.cc.o" "gcc" "src/CMakeFiles/s2_dp.dir/dp/packet.cc.o.d"
+  "/root/repo/src/dp/predicates.cc" "src/CMakeFiles/s2_dp.dir/dp/predicates.cc.o" "gcc" "src/CMakeFiles/s2_dp.dir/dp/predicates.cc.o.d"
+  "/root/repo/src/dp/properties.cc" "src/CMakeFiles/s2_dp.dir/dp/properties.cc.o" "gcc" "src/CMakeFiles/s2_dp.dir/dp/properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s2_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

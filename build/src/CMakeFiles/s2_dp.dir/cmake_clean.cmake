@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_dp.dir/dp/fib.cc.o"
+  "CMakeFiles/s2_dp.dir/dp/fib.cc.o.d"
+  "CMakeFiles/s2_dp.dir/dp/forwarding.cc.o"
+  "CMakeFiles/s2_dp.dir/dp/forwarding.cc.o.d"
+  "CMakeFiles/s2_dp.dir/dp/packet.cc.o"
+  "CMakeFiles/s2_dp.dir/dp/packet.cc.o.d"
+  "CMakeFiles/s2_dp.dir/dp/predicates.cc.o"
+  "CMakeFiles/s2_dp.dir/dp/predicates.cc.o.d"
+  "CMakeFiles/s2_dp.dir/dp/properties.cc.o"
+  "CMakeFiles/s2_dp.dir/dp/properties.cc.o.d"
+  "libs2_dp.a"
+  "libs2_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

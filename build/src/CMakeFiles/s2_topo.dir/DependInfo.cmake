@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/dcn.cc" "src/CMakeFiles/s2_topo.dir/topo/dcn.cc.o" "gcc" "src/CMakeFiles/s2_topo.dir/topo/dcn.cc.o.d"
+  "/root/repo/src/topo/fattree.cc" "src/CMakeFiles/s2_topo.dir/topo/fattree.cc.o" "gcc" "src/CMakeFiles/s2_topo.dir/topo/fattree.cc.o.d"
+  "/root/repo/src/topo/graph.cc" "src/CMakeFiles/s2_topo.dir/topo/graph.cc.o" "gcc" "src/CMakeFiles/s2_topo.dir/topo/graph.cc.o.d"
+  "/root/repo/src/topo/partition.cc" "src/CMakeFiles/s2_topo.dir/topo/partition.cc.o" "gcc" "src/CMakeFiles/s2_topo.dir/topo/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

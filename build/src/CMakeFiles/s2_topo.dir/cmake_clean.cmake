@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_topo.dir/topo/dcn.cc.o"
+  "CMakeFiles/s2_topo.dir/topo/dcn.cc.o.d"
+  "CMakeFiles/s2_topo.dir/topo/fattree.cc.o"
+  "CMakeFiles/s2_topo.dir/topo/fattree.cc.o.d"
+  "CMakeFiles/s2_topo.dir/topo/graph.cc.o"
+  "CMakeFiles/s2_topo.dir/topo/graph.cc.o.d"
+  "CMakeFiles/s2_topo.dir/topo/partition.cc.o"
+  "CMakeFiles/s2_topo.dir/topo/partition.cc.o.d"
+  "libs2_topo.a"
+  "libs2_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

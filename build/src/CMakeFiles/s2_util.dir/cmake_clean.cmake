@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_util.dir/util/ip.cc.o"
+  "CMakeFiles/s2_util.dir/util/ip.cc.o.d"
+  "CMakeFiles/s2_util.dir/util/logging.cc.o"
+  "CMakeFiles/s2_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/s2_util.dir/util/memory_tracker.cc.o"
+  "CMakeFiles/s2_util.dir/util/memory_tracker.cc.o.d"
+  "CMakeFiles/s2_util.dir/util/string_util.cc.o"
+  "CMakeFiles/s2_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/s2_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/s2_util.dir/util/thread_pool.cc.o.d"
+  "libs2_util.a"
+  "libs2_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_io_test.dir/bdd_io_test.cc.o"
+  "CMakeFiles/bdd_io_test.dir/bdd_io_test.cc.o.d"
+  "bdd_io_test"
+  "bdd_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

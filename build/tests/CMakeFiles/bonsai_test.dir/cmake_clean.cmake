@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bonsai_test.dir/bonsai_test.cc.o"
+  "CMakeFiles/bonsai_test.dir/bonsai_test.cc.o.d"
+  "bonsai_test"
+  "bonsai_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bonsai_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

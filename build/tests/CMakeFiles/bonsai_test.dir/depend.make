@@ -1,0 +1,2 @@
+# Empty dependencies file for bonsai_test.
+# This may be replaced when dependencies are built.

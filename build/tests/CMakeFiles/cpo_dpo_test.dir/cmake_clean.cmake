@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpo_dpo_test.dir/cpo_dpo_test.cc.o"
+  "CMakeFiles/cpo_dpo_test.dir/cpo_dpo_test.cc.o.d"
+  "cpo_dpo_test"
+  "cpo_dpo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpo_dpo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

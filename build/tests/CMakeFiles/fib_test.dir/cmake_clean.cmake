@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fib_test.dir/fib_test.cc.o"
+  "CMakeFiles/fib_test.dir/fib_test.cc.o.d"
+  "fib_test"
+  "fib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mono_test.dir/mono_test.cc.o"
+  "CMakeFiles/mono_test.dir/mono_test.cc.o.d"
+  "mono_test"
+  "mono_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mono_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

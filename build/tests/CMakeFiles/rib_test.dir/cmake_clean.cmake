@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rib_test.dir/rib_test.cc.o"
+  "CMakeFiles/rib_test.dir/rib_test.cc.o.d"
+  "rib_test"
+  "rib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_test.dir/route_test.cc.o"
+  "CMakeFiles/route_test.dir/route_test.cc.o.d"
+  "route_test"
+  "route_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
