@@ -23,3 +23,4 @@ target_link_libraries(micro_bench PRIVATE s2_core benchmark::benchmark
 set_target_properties(micro_bench PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 s2_bench(ablation_prefix_parallel)
+s2_bench(fault_overhead)

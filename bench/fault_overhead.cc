@@ -1,0 +1,98 @@
+// Overhead of the reliable-delivery envelope at zero fault rate (ISSUE
+// acceptance: < 10% on the fig6 workload). Runs the k=8 fat-tree all-pair
+// verification with the default direct fabric and again with sequence
+// numbers, cumulative acks, and retransmit timers armed but no injector —
+// the steady-state cost a real deployment would pay for fault tolerance.
+//
+// Also reports, for context, a faulty run (10% drop + duplication +
+// reordering + two worker crashes) to show convergence still holds when
+// the protocol earns its keep.
+#include "bench_util.h"
+
+namespace s2::bench {
+namespace {
+
+constexpr int kRepeats = 5;
+
+struct Sample {
+  double wall_seconds = 0;
+  core::VerifyResult result;
+};
+
+void MeasureOnce(const BuiltNetwork& built, const dp::Query& query,
+                 const dist::ControllerOptions& options, int repeat,
+                 Sample& best) {
+  core::S2Verifier verifier(options);
+  util::Stopwatch watch;
+  core::VerifyResult result = verifier.Verify(built.parsed, {query});
+  double seconds = watch.ElapsedSeconds();
+  if (repeat == 0 || seconds < best.wall_seconds) {
+    best.wall_seconds = seconds;
+    best.result = std::move(result);
+  }
+}
+
+int Main() {
+  BuiltNetwork built = BuildFatTree(8);
+  dp::Query query = AllPairQuery(built.parsed);
+
+  dist::ControllerOptions direct = S2Options(8, kShards);
+  dist::ControllerOptions reliable = direct;
+  reliable.reliable_delivery = true;
+
+  dist::ControllerOptions chaotic = direct;
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.default_link.drop = 0.10;
+  plan.default_link.duplicate = 0.05;
+  plan.default_link.reorder = 0.05;
+  plan.crashes.push_back({fault::CrashPhase::kControlPlaneRound, 3, 1});
+  plan.crashes.push_back({fault::CrashPhase::kControlPlaneRound, 6, 5});
+  chaotic.fault_plan = plan;
+
+  std::printf("fault_overhead: %s, 8 workers, %d shards, best of %d\n\n",
+              PaperSize(8), kShards, kRepeats);
+  // Interleave the modes so slow drift in machine load (shared runners)
+  // biases neither side of the comparison.
+  Sample base, envelope, faulty;
+  for (int r = 0; r < kRepeats; ++r) {
+    MeasureOnce(built, query, direct, r, base);
+    MeasureOnce(built, query, reliable, r, envelope);
+    MeasureOnce(built, query, chaotic, r, faulty);
+  }
+
+  std::printf("%-22s %10s %12s %12s %12s %10s\n", "mode", "status", "wall",
+              "retransmits", "dropped", "recovered");
+  auto row = [](const char* label, const Sample& sample) {
+    std::printf("%-22s %10s %12s %12zu %12zu %10zu\n", label,
+                core::RunStatusName(sample.result.status),
+                core::HumanSeconds(sample.wall_seconds).c_str(),
+                sample.result.retransmits, sample.result.frames_dropped,
+                sample.result.worker_recoveries);
+  };
+  row("direct", base);
+  row("reliable (0 faults)", envelope);
+  row("10% drop + 2 crashes", faulty);
+
+  double overhead =
+      (envelope.wall_seconds - base.wall_seconds) / base.wall_seconds;
+  std::printf("\nreliable-envelope overhead at zero fault rate: %+.1f%%"
+              " (target < 10%%)\n",
+              overhead * 100.0);
+
+  bool same_verdicts =
+      base.result.ok() && faulty.result.ok() &&
+      base.result.queries[0].reachable_pairs ==
+          faulty.result.queries[0].reachable_pairs &&
+      base.result.queries[0].unreachable_pairs ==
+          faulty.result.queries[0].unreachable_pairs &&
+      base.result.total_best_routes == faulty.result.total_best_routes;
+  std::printf("faulty run verdicts match direct run: %s\n",
+              same_verdicts ? "yes" : "NO — protocol bug");
+  return (overhead < 0.10 && same_verdicts) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace s2::bench
+
+int main() { return s2::bench::Main(); }

@@ -38,6 +38,13 @@ struct VerifyResult {
   size_t comm_bytes = 0;
   size_t forwarding_steps = 0;
 
+  // Fault-tolerance counters (nonzero only when the sidecar fabric runs in
+  // reliable mode — src/fault).
+  size_t retransmits = 0;
+  size_t frames_dropped = 0;
+  size_t duplicates_suppressed = 0;
+  size_t worker_recoveries = 0;
+
   // Results of the queries run (one entry per query).
   std::vector<dp::QueryResult> queries;
 

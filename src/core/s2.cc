@@ -30,6 +30,14 @@ VerifyResult S2Verifier::Verify(config::ParsedNetwork network,
       result.worker_peaks = controller_->WorkerPeakBytes();
       result.comm_bytes += controller_->TotalCommBytes();
       result.total_best_routes = controller_->TotalBestRoutes();
+      if (controller_->fabric().reliable()) {
+        fault::ReliableTransport::Stats stats =
+            controller_->fabric().transport_stats();
+        result.retransmits = stats.retransmits;
+        result.frames_dropped = stats.dropped;
+        result.duplicates_suppressed = stats.duplicates_suppressed;
+        result.worker_recoveries = controller_->worker_recoveries();
+      }
       return result;
     }
     result.dp_build = controller_->BuildDataPlanes();
@@ -51,6 +59,14 @@ VerifyResult S2Verifier::Verify(config::ParsedNetwork network,
   result.worker_peaks = controller_->WorkerPeakBytes();
   result.comm_bytes += controller_->TotalCommBytes();
   result.total_best_routes = controller_->TotalBestRoutes();
+  if (controller_->fabric().reliable()) {
+    fault::ReliableTransport::Stats stats =
+        controller_->fabric().transport_stats();
+    result.retransmits = stats.retransmits;
+    result.frames_dropped = stats.dropped;
+    result.duplicates_suppressed = stats.duplicates_suppressed;
+    result.worker_recoveries = controller_->worker_recoveries();
+  }
   return result;
 }
 

@@ -199,6 +199,48 @@ void Node::ReceiveUpdates(topo::NodeId from,
   }
 }
 
+namespace {
+
+// Flattens a best-route map to announcements (prefix-major, rank-minor) —
+// the same shape RibStore::Write uses — and back.
+std::vector<RouteUpdate> FlattenResults(
+    const std::map<util::Ipv4Prefix, std::vector<Route>>& results) {
+  std::vector<RouteUpdate> updates;
+  for (const auto& [prefix, routes] : results) {
+    for (const Route& route : routes) {
+      updates.push_back(RouteUpdate{prefix, false, route});
+    }
+  }
+  return updates;
+}
+
+}  // namespace
+
+void Node::SerializeState(std::vector<uint8_t>& out) const {
+  out.push_back(static_cast<uint8_t>(pass_));
+  rib_.SerializeState(out);
+  PutRoutesSection(out, FlattenResults(ospf_results_));
+  PutRoutesSection(out, FlattenResults(bgp_results_));
+}
+
+void Node::RestoreState(const std::vector<uint8_t>& bytes,
+                        const PrefixSet* shard) {
+  size_t pos = 0;
+  if (bytes.empty()) std::abort();
+  pass_ = static_cast<Pass>(bytes[pos++]);
+  shard_ = pass_ == Pass::kBgp ? shard : nullptr;
+  rib_.RestoreState(bytes, pos);
+  auto restore_results =
+      [&](std::map<util::Ipv4Prefix, std::vector<Route>>& results) {
+        for (RouteUpdate& update : GetRoutesSection(bytes, pos)) {
+          if (tracker_) tracker_->Charge(update.route.EstimateBytes());
+          results[update.prefix].push_back(std::move(update.route));
+        }
+      };
+  restore_results(ospf_results_);
+  restore_results(bgp_results_);
+}
+
 void Node::SpillBgp(RibStore& store, int shard) {
   store.Write(shard, id_, rib_.all_best());
   rib_.Clear();

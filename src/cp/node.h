@@ -97,6 +97,17 @@ class Node {
   // The live working RIB (tests / diagnostics).
   const Rib& rib() const { return rib_; }
 
+  // ------------------------------------------------ checkpoint (src/fault)
+  // Serializes the full control-plane state (pass, working RIB including
+  // dirty marks, accumulated OSPF/BGP results) with the cp/route.cc wire
+  // format. Taken at phase barriers, where outboxes are always empty.
+  void SerializeState(std::vector<uint8_t>& out) const;
+
+  // Restores SerializeState bytes into a freshly constructed node. `shard`
+  // must be the prefix shard that was active when the checkpoint was taken
+  // (null for OSPF / unsharded / idle).
+  void RestoreState(const std::vector<uint8_t>& bytes, const PrefixSet* shard);
+
  private:
   void OriginateStatic();      // network statements + redistribution
   void RefreshConditional();   // aggregates + conditional advertisements

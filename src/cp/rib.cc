@@ -108,6 +108,59 @@ bool Rib::HasContributor(const util::Ipv4Prefix& prefix) const {
   return false;
 }
 
+void Rib::SerializeState(std::vector<uint8_t>& out) const {
+  // Candidates, grouped by contributing neighbor (map order on both levels
+  // keeps the bytes deterministic).
+  std::map<topo::NodeId, std::vector<RouteUpdate>> by_neighbor;
+  for (const auto& [prefix, per_neighbor] : candidates_) {
+    for (const auto& [from, route] : per_neighbor) {
+      by_neighbor[from].push_back(RouteUpdate{prefix, false, route});
+    }
+  }
+  PutWireU32(out, static_cast<uint32_t>(by_neighbor.size()));
+  for (const auto& [from, updates] : by_neighbor) {
+    PutWireU32(out, from);
+    PutRoutesSection(out, updates);
+  }
+  // Best/ECMP sets, flattened in (prefix, rank) order.
+  std::vector<RouteUpdate> best;
+  for (const auto& [prefix, routes] : best_) {
+    for (const Route& route : routes) {
+      best.push_back(RouteUpdate{prefix, false, route});
+    }
+  }
+  PutRoutesSection(out, best);
+  // Dirty prefixes, encoded as withdraw entries (sorted: the set itself is
+  // unordered and checkpoint bytes should not depend on hashing).
+  std::vector<util::Ipv4Prefix> dirty(dirty_.begin(), dirty_.end());
+  std::sort(dirty.begin(), dirty.end());
+  std::vector<RouteUpdate> marks;
+  marks.reserve(dirty.size());
+  for (const util::Ipv4Prefix& prefix : dirty) {
+    marks.push_back(RouteUpdate{prefix, true, Route{}});
+  }
+  PutRoutesSection(out, marks);
+}
+
+void Rib::RestoreState(const std::vector<uint8_t>& bytes, size_t& pos) {
+  uint32_t groups = GetWireU32(bytes, pos);
+  for (uint32_t g = 0; g < groups; ++g) {
+    topo::NodeId from = GetWireU32(bytes, pos);
+    for (RouteUpdate& update : GetRoutesSection(bytes, pos)) {
+      candidates_[update.prefix].emplace(from, update.route);
+      ChargeRoute(update.route);
+      ++candidate_count_;
+    }
+  }
+  for (RouteUpdate& update : GetRoutesSection(bytes, pos)) {
+    ChargeRoute(update.route);
+    best_[update.prefix].push_back(std::move(update.route));
+  }
+  for (const RouteUpdate& update : GetRoutesSection(bytes, pos)) {
+    dirty_.insert(update.prefix);
+  }
+}
+
 void Rib::Clear() {
   if (tracker_) {
     for (const auto& [prefix, per_neighbor] : candidates_) {

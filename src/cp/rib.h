@@ -63,6 +63,21 @@ class Rib {
 
   size_t candidate_count() const { return candidate_count_; }
 
+  // Full candidate table (fault checkpoints and diagnostics).
+  const std::map<util::Ipv4Prefix, std::map<topo::NodeId, Route>>&
+  candidates() const {
+    return candidates_;
+  }
+
+  // ------------------------------------------------ checkpoint (src/fault)
+  // Byte-exact snapshot of candidates, best sets, AND dirty marks: restoring
+  // all three makes post-crash replay reproduce the exact export deltas of
+  // the lost rounds (restoring candidates alone would lose the pending
+  // withdrawals of prefixes that went bestless just before a barrier).
+  void SerializeState(std::vector<uint8_t>& out) const;
+  // Restores into an empty RIB, charging the tracker for every route.
+  void RestoreState(const std::vector<uint8_t>& bytes, size_t& pos);
+
   // Drops all state (end of a shard round: results were spilled), releasing
   // the accounted memory.
   void Clear();

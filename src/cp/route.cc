@@ -60,21 +60,27 @@ bool EcmpEquivalent(const Route& a, const Route& b) {
          a.med == b.med && a.metric == b.metric;
 }
 
-namespace {
-
-void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+void PutWireU32(std::vector<uint8_t>& out, uint32_t v) {
   out.push_back(static_cast<uint8_t>(v));
   out.push_back(static_cast<uint8_t>(v >> 8));
   out.push_back(static_cast<uint8_t>(v >> 16));
   out.push_back(static_cast<uint8_t>(v >> 24));
 }
 
-uint32_t GetU32(const std::vector<uint8_t>& in, size_t& pos) {
+uint32_t GetWireU32(const std::vector<uint8_t>& in, size_t& pos) {
   if (pos + 4 > in.size()) std::abort();
   uint32_t v = uint32_t{in[pos]} | (uint32_t{in[pos + 1]} << 8) |
                (uint32_t{in[pos + 2]} << 16) | (uint32_t{in[pos + 3]} << 24);
   pos += 4;
   return v;
+}
+
+namespace {
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) { PutWireU32(out, v); }
+
+uint32_t GetU32(const std::vector<uint8_t>& in, size_t& pos) {
+  return GetWireU32(in, pos);
 }
 
 void PutU32List(std::vector<uint8_t>& out, const std::vector<uint32_t>& v) {
@@ -144,6 +150,23 @@ std::vector<RouteUpdate> DeserializeRoutes(
     updates.push_back(std::move(update));
   }
   return updates;
+}
+
+void PutRoutesSection(std::vector<uint8_t>& out,
+                      const std::vector<RouteUpdate>& updates) {
+  std::vector<uint8_t> chunk;
+  SerializeRoutes(updates, chunk);
+  PutWireU32(out, static_cast<uint32_t>(chunk.size()));
+  out.insert(out.end(), chunk.begin(), chunk.end());
+}
+
+std::vector<RouteUpdate> GetRoutesSection(const std::vector<uint8_t>& bytes,
+                                          size_t& pos) {
+  uint32_t len = GetWireU32(bytes, pos);
+  if (pos + len > bytes.size()) std::abort();
+  std::vector<uint8_t> chunk(bytes.data() + pos, bytes.data() + pos + len);
+  pos += len;
+  return DeserializeRoutes(chunk);
 }
 
 }  // namespace s2::cp

@@ -88,4 +88,16 @@ void SerializeRoutes(const std::vector<RouteUpdate>& updates,
                      std::vector<uint8_t>& out);
 std::vector<RouteUpdate> DeserializeRoutes(const std::vector<uint8_t>& bytes);
 
+// Little-endian wire primitives shared by the route, RIB-state, and fault
+// checkpoint serializers.
+void PutWireU32(std::vector<uint8_t>& out, uint32_t v);
+uint32_t GetWireU32(const std::vector<uint8_t>& bytes, size_t& pos);
+
+// A length-prefixed SerializeRoutes chunk, embeddable in composite formats
+// (node checkpoints) that continue reading past it.
+void PutRoutesSection(std::vector<uint8_t>& out,
+                      const std::vector<RouteUpdate>& updates);
+std::vector<RouteUpdate> GetRoutesSection(const std::vector<uint8_t>& bytes,
+                                          size_t& pos);
+
 }  // namespace s2::cp

@@ -16,17 +16,26 @@ void Controller::Setup() {
                                options_.scheme, options_.seed);
   fabric_ = std::make_unique<SidecarFabric>(options_.num_workers,
                                             partition_.assignment);
+  if (options_.fault_plan) {
+    injector_ = std::make_unique<fault::FaultInjector>(*options_.fault_plan);
+  }
+  if (injector_ != nullptr || options_.reliable_delivery) {
+    static const fault::FaultPlan kDefaultTuning;
+    fabric_->EnableReliableDelivery(
+        injector_ ? injector_->plan() : kDefaultTuning, injector_.get(),
+        /*keep_replay_log=*/injector_ != nullptr);
+  }
 
-  Worker::Options worker_options;
-  worker_options.memory_budget = options_.worker_memory_budget;
-  worker_options.max_bdd_nodes = options_.max_bdd_nodes;
-  worker_options.layout = options_.layout;
-  worker_options.max_hops = options_.max_hops;
+  worker_options_.memory_budget = options_.worker_memory_budget;
+  worker_options_.max_bdd_nodes = options_.max_bdd_nodes;
+  worker_options_.layout = options_.layout;
+  worker_options_.max_hops = options_.max_hops;
   workers_.clear();
   for (uint32_t w = 0; w < options_.num_workers; ++w) {
     workers_.push_back(std::make_unique<Worker>(w, network_, fabric_.get(),
-                                                worker_options));
+                                                worker_options_));
   }
+  checkpoints_.assign(options_.num_workers, fault::WorkerCheckpoint{});
 
   size_t threads = options_.pool_threads;
   if (threads == 0) {
@@ -35,8 +44,16 @@ void Controller::Setup() {
                                         std::thread::hardware_concurrency()));
   }
   pool_ = std::make_unique<util::ThreadPool>(threads);
+  FaultHooks hooks;
+  if (injector_ != nullptr) {
+    hooks.injector = injector_.get();
+    hooks.checkpoint_interval = injector_->plan().checkpoint_interval;
+    hooks.checkpoint = [this](int shard) { CheckpointWorkers(shard); };
+    hooks.recover = [this](uint32_t w) { RecoverWorker(w); };
+  }
   cpo_ = std::make_unique<Cpo>(&workers_, fabric_.get(), pool_.get(),
-                               options_.cost, options_.max_rounds);
+                               options_.cost, options_.max_rounds,
+                               std::move(hooks));
   dpo_ = std::make_unique<Dpo>(&workers_, fabric_.get(), pool_.get(),
                                options_.cost);
 
@@ -59,11 +76,27 @@ RoundMetrics Controller::RunControlPlane() {
   for (const config::ViConfig& config : network_.configs) {
     any_ospf = any_ospf || config.ospf.enabled;
   }
-  return cpo_->Run(any_ospf, plan_ ? &*plan_ : nullptr, store_.get());
+  RoundMetrics metrics =
+      cpo_->Run(any_ospf, plan_ ? &*plan_ : nullptr, store_.get());
+  // Final snapshot of the converged (idle) control plane: crashes fired
+  // during the data-plane phase recover from here.
+  if (injector_ != nullptr) CheckpointWorkers(-1);
+  return metrics;
 }
 
 RoundMetrics Controller::BuildDataPlanes() {
-  return dpo_->BuildDataPlanes(store_.get());
+  RoundMetrics metrics = dpo_->BuildDataPlanes(store_.get());
+  if (injector_ != nullptr) {
+    for (uint32_t w = 0; w < workers_.size(); ++w) {
+      workers_[w]->CheckpointDataPlane(checkpoints_[w]);
+      fabric_->MarkCheckpoint(w);
+    }
+    for (uint32_t w : injector_->TakeCrashes(fault::CrashPhase::kDataPlaneBuild,
+                                             /*round=*/0)) {
+      RecoverWorker(w);
+    }
+  }
+  return metrics;
 }
 
 Controller::QueryOutcome Controller::RunQuery(const dp::Query& query) {
@@ -77,7 +110,52 @@ Controller::QueryOutcome Controller::RunQuery(const dp::Query& query) {
   }
   outcome.result =
       dp::EvaluateQuery(query, gather_codec, run.finals, network_);
+  // Queries mutate no durable worker state; truncating the replay logs at
+  // the query barrier keeps them from growing across a query sweep.
+  if (injector_ != nullptr) {
+    for (uint32_t w = 0; w < workers_.size(); ++w) {
+      checkpoints_[w].fabric_round = fabric_->CurrentRound();
+      fabric_->MarkCheckpoint(w);
+    }
+  }
   return outcome;
+}
+
+// ------------------------------------------------------- fault tolerance
+
+void Controller::CheckpointWorkers(int shard) {
+  for (uint32_t w = 0; w < workers_.size(); ++w) {
+    bool had_data_plane = checkpoints_[w].has_data_plane;
+    auto predicates = std::move(checkpoints_[w].predicate_state);
+    size_t fib_bytes = checkpoints_[w].fib_bytes;
+    checkpoints_[w] = workers_[w]->Checkpoint(shard);
+    // Control-plane checkpoints never invalidate a data-plane snapshot —
+    // the engines are untouched by CP rounds.
+    checkpoints_[w].has_data_plane = had_data_plane;
+    checkpoints_[w].predicate_state = std::move(predicates);
+    checkpoints_[w].fib_bytes = fib_bytes;
+    checkpoints_[w].fabric_round = fabric_->CurrentRound();
+    fabric_->MarkCheckpoint(w);
+  }
+}
+
+void Controller::RecoverWorker(uint32_t w) {
+  const fault::WorkerCheckpoint& checkpoint = checkpoints_[w];
+  std::vector<fault::LoggedDelivery> log = fabric_->ReplayLog(w);
+  // The worker object dies (RIBs, engines, tracker — everything in the
+  // crashed process); the sidecar survives, like the paper's separate
+  // sidecar process, keeping channel state and the replay log.
+  workers_[w] = std::make_unique<Worker>(w, network_, fabric_.get(),
+                                         worker_options_);
+  Worker& worker = *workers_[w];
+  const cp::PrefixSet* shard =
+      (checkpoint.shard >= 0 && plan_) ? &plan_->shards[checkpoint.shard]
+                                       : nullptr;
+  worker.Restore(checkpoint, shard);
+  worker.ReplayDelivered(checkpoint.fabric_round, fabric_->CurrentRound(),
+                         log);
+  if (checkpoint.has_data_plane) worker.RestoreDataPlane(checkpoint);
+  ++worker_recoveries_;
 }
 
 size_t Controller::TotalBestRoutes() const {

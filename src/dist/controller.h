@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "dist/dpo.h"
+#include "fault/plan.h"
 #include "topo/partition.h"
 
 namespace s2::dist {
@@ -30,6 +31,15 @@ struct ControllerOptions {
   CostModelParams cost;
   // Thread pool size; 0 = min(num_workers, hardware concurrency).
   size_t pool_threads = 0;
+
+  // Fault injection (src/fault): when set, the fabric runs the reliable-
+  // delivery envelope perturbed by this plan, workers are checkpointed at
+  // barriers, and scheduled crashes are recovered via RecoverWorker.
+  std::optional<fault::FaultPlan> fault_plan;
+  // Run the reliability envelope (sequence numbers, acks, retransmit
+  // timers) even without a fault plan — what bench/fault_overhead.cc
+  // measures against the default direct fabric.
+  bool reliable_delivery = false;
 };
 
 class Controller {
@@ -76,9 +86,23 @@ class Controller {
   Worker& worker(size_t index) { return *workers_[index]; }
   size_t num_workers() const { return workers_.size(); }
 
+  // ------------------------------------------------ fault tolerance
+  // Rebuilds worker `w` from its latest checkpoint and replays the rounds
+  // it lost (fault/checkpoint.h). Called by the CPO's barrier hook for
+  // scheduled crashes; public so tests can crash workers directly.
+  void RecoverWorker(uint32_t w);
+
+  // Snapshots every worker (also truncates the fabric replay logs).
+  void CheckpointWorkers(int shard);
+
+  const fault::FaultInjector* injector() const { return injector_.get(); }
+  size_t worker_recoveries() const { return worker_recoveries_; }
+  const SidecarFabric& fabric() const { return *fabric_; }
+
  private:
   config::ParsedNetwork network_;
   ControllerOptions options_;
+  Worker::Options worker_options_;
 
   topo::PartitionResult partition_;
   std::optional<cp::ShardPlan> plan_;
@@ -92,6 +116,11 @@ class Controller {
   // The controller's own BDD domain for verdict computation over gathered
   // finals.
   std::unique_ptr<bdd::Manager> gather_manager_;
+
+  // Fault machinery (null/empty without a fault plan).
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<fault::WorkerCheckpoint> checkpoints_;
+  size_t worker_recoveries_ = 0;
 };
 
 }  // namespace s2::dist

@@ -17,12 +17,13 @@ void RoundMetrics::Add(const RoundMetrics& other) {
 
 Cpo::Cpo(std::vector<std::unique_ptr<Worker>>* workers,
          SidecarFabric* fabric, util::ThreadPool* pool, CostModelParams cost,
-         int max_rounds)
+         int max_rounds, FaultHooks hooks)
     : workers_(workers),
       fabric_(fabric),
       pool_(pool),
       cost_(cost),
-      max_rounds_(max_rounds) {}
+      max_rounds_(max_rounds),
+      hooks_(std::move(hooks)) {}
 
 double Cpo::GcPenalty() const {
   double worst = 0;
@@ -51,7 +52,10 @@ RoundMetrics Cpo::RunRounds() {
       busy_a = std::max(busy_a, (*workers_)[w]->last_phase_seconds());
       any = any || produced[w];
     }
-    if (!any) break;  // global fix point
+    // Global fix point: no worker produced updates AND the fabric is
+    // quiescent (in reliable mode, in-flight/delayed/unacked frames keep
+    // the rounds going until every message is delivered and acked).
+    if (!any && !fabric_->HasPending()) break;
 
     // Phase B (barrier): deliver and merge.
     pool_->ParallelFor(num_workers,
@@ -67,6 +71,8 @@ RoundMetrics Cpo::RunRounds() {
         double(bytes_after - bytes_before) / double(num_workers) /
             cost_.bandwidth_bytes_per_sec +
         GcPenalty() + cost_.round_latency_seconds;
+    ++cp_round_total_;
+    AtBarrier();
     if (++metrics.rounds > max_rounds_) {
       throw util::SimulatedTimeout(
           "distributed control plane did not converge within " +
@@ -75,6 +81,20 @@ RoundMetrics Cpo::RunRounds() {
   }
   metrics.wall_seconds = wall.ElapsedSeconds();
   return metrics;
+}
+
+void Cpo::AtBarrier() {
+  if (!hooks_.active()) return;
+  // Checkpoint first: a crash due at the same barrier then recovers from
+  // the freshest possible snapshot with an empty replay window.
+  if (hooks_.checkpoint_interval > 0 &&
+      cp_round_total_ % hooks_.checkpoint_interval == 0) {
+    hooks_.checkpoint(current_shard_);
+  }
+  for (uint32_t w : hooks_.injector->TakeCrashes(
+           fault::CrashPhase::kControlPlaneRound, cp_round_total_)) {
+    hooks_.recover(w);
+  }
 }
 
 size_t Cpo::MaxWorkerPeakNow() const {
@@ -90,9 +110,12 @@ RoundMetrics Cpo::Run(bool any_ospf, const cp::ShardPlan* plan,
   RoundMetrics total;
   shard_metrics_.clear();
   observed_peak_ = 0;
+  cp_round_total_ = 0;
   if (any_ospf) {
     pool_->ParallelFor(workers_->size(),
                        [&](size_t w) { (*workers_)[w]->BeginOspf(); });
+    current_shard_ = -1;
+    if (hooks_.active()) hooks_.checkpoint(-1);
     total.Add(RunRounds());
     pool_->ParallelFor(workers_->size(),
                        [&](size_t w) { (*workers_)[w]->FinishOspf(); });
@@ -107,6 +130,8 @@ RoundMetrics Cpo::Run(bool any_ospf, const cp::ShardPlan* plan,
       pool_->ParallelFor(workers_->size(), [&](size_t w) {
         (*workers_)[w]->BeginBgp(prefixes);
       });
+      current_shard_ = static_cast<int>(shard);
+      if (hooks_.active()) hooks_.checkpoint(current_shard_);
       ShardMetrics metrics;
       metrics.rounds = RunRounds();
       total.Add(metrics.rounds);
@@ -122,6 +147,8 @@ RoundMetrics Cpo::Run(bool any_ospf, const cp::ShardPlan* plan,
   } else {
     pool_->ParallelFor(workers_->size(),
                        [&](size_t w) { (*workers_)[w]->BeginBgp(nullptr); });
+    current_shard_ = -1;
+    if (hooks_.active()) hooks_.checkpoint(-1);
     total.Add(RunRounds());
     pool_->ParallelFor(workers_->size(),
                        [&](size_t w) { (*workers_)[w]->RetainBgp(); });

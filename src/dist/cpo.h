@@ -11,11 +11,13 @@
 // time a real deployment would see).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cp/shard.h"
 #include "dist/worker.h"
+#include "fault/injector.h"
 #include "util/cost_model.h"
 #include "util/thread_pool.h"
 
@@ -42,10 +44,23 @@ struct ShardMetrics {
   size_t max_worker_peak = 0;  // highest per-worker peak within the shard
 };
 
+// Barrier callbacks wiring the CPO into the controller's fault machinery
+// (src/fault). Inactive when no fault plan is installed.
+struct FaultHooks {
+  fault::FaultInjector* injector = nullptr;
+  // Control-plane rounds between periodic checkpoints; checkpoints are
+  // also taken at every pass/shard begin barrier.
+  int checkpoint_interval = 0;
+  std::function<void(int shard)> checkpoint;      // snapshot every worker
+  std::function<void(uint32_t worker)> recover;   // rebuild a crashed one
+  bool active() const { return injector != nullptr; }
+};
+
 class Cpo {
  public:
   Cpo(std::vector<std::unique_ptr<Worker>>* workers, SidecarFabric* fabric,
-      util::ThreadPool* pool, CostModelParams cost, int max_rounds);
+      util::ThreadPool* pool, CostModelParams cost, int max_rounds,
+      FaultHooks hooks = {});
 
   // Full control-plane simulation: an OSPF pass when any device enables
   // OSPF, then BGP — one round set per shard of `plan` (spilling converged
@@ -63,8 +78,13 @@ class Cpo {
   // the trackers' current peaks).
   size_t observed_peak() const { return observed_peak_; }
 
+  // Cumulative control-plane rounds across passes and shards of the last
+  // Run — the clock CrashEvent::round is scheduled against.
+  int total_rounds() const { return cp_round_total_; }
+
  private:
   RoundMetrics RunRounds();
+  void AtBarrier();  // end-of-round checkpoints and scheduled crashes
   double GcPenalty() const;
   size_t MaxWorkerPeakNow() const;
 
@@ -73,8 +93,11 @@ class Cpo {
   util::ThreadPool* pool_;
   CostModelParams cost_;
   int max_rounds_;
+  FaultHooks hooks_;
   std::vector<ShardMetrics> shard_metrics_;
   size_t observed_peak_ = 0;
+  int cp_round_total_ = 0;
+  int current_shard_ = -1;
 };
 
 }  // namespace s2::dist

@@ -7,19 +7,43 @@ SidecarFabric::SidecarFabric(uint32_t num_workers,
     : num_workers_(num_workers),
       assignment_(std::move(assignment)),
       queues_(num_workers),
-      bytes_sent_(num_workers, 0),
-      messages_sent_(num_workers, 0) {}
+      bytes_sent_(num_workers),
+      messages_sent_(num_workers),
+      max_queue_depth_(num_workers) {}
+
+void SidecarFabric::EnableReliableDelivery(const fault::FaultPlan& tuning,
+                                           const fault::FaultInjector* injector,
+                                           bool keep_replay_log) {
+  transport_ = std::make_unique<fault::ReliableTransport>(
+      num_workers_, tuning, injector, keep_replay_log);
+}
 
 void SidecarFabric::Send(uint32_t from_worker, Message message) {
   uint32_t to_worker = WorkerOf(message.to_node);
+  // Counters track application payloads (what the cost model bills); the
+  // reliable envelope's retransmit/ack traffic shows in transport_stats().
+  bytes_sent_[from_worker].fetch_add(message.WireBytes(),
+                                     std::memory_order_relaxed);
+  messages_sent_[from_worker].fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
-  bytes_sent_[from_worker] += message.WireBytes();
-  messages_sent_[from_worker] += 1;
-  queues_[to_worker].push_back(std::move(message));
+  if (transport_ != nullptr) {
+    transport_->Ship(from_worker, to_worker, std::move(message));
+    return;
+  }
+  std::vector<Message>& queue = queues_[to_worker];
+  queue.push_back(std::move(message));
+  size_t depth = queue.size();
+  std::atomic<size_t>& high = max_queue_depth_[to_worker];
+  size_t seen = high.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !high.compare_exchange_weak(seen, depth,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 std::vector<Message> SidecarFabric::Drain(uint32_t worker) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (transport_ != nullptr) return transport_->Drain(worker);
   std::vector<Message> out = std::move(queues_[worker]);
   queues_[worker].clear();
   return out;
@@ -27,6 +51,7 @@ std::vector<Message> SidecarFabric::Drain(uint32_t worker) {
 
 bool SidecarFabric::HasPending() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (transport_ != nullptr) return transport_->HasPending();
   for (const auto& queue : queues_) {
     if (!queue.empty()) return true;
   }
@@ -34,26 +59,58 @@ bool SidecarFabric::HasPending() const {
 }
 
 size_t SidecarFabric::bytes_sent_by(uint32_t worker) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return bytes_sent_[worker];
+  return bytes_sent_[worker].load(std::memory_order_relaxed);
 }
 
 size_t SidecarFabric::messages_sent_by(uint32_t worker) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return messages_sent_[worker];
+  return messages_sent_[worker].load(std::memory_order_relaxed);
 }
 
 size_t SidecarFabric::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   size_t total = 0;
-  for (size_t b : bytes_sent_) total += b;
+  for (const std::atomic<size_t>& b : bytes_sent_) {
+    total += b.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
+size_t SidecarFabric::max_queue_depth(uint32_t worker) const {
+  if (transport_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return transport_->MaxQueueDepth(worker);
+  }
+  return max_queue_depth_[worker].load(std::memory_order_relaxed);
+}
+
 void SidecarFabric::ResetCounters() {
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    bytes_sent_[w].store(0, std::memory_order_relaxed);
+    messages_sent_[w].store(0, std::memory_order_relaxed);
+    max_queue_depth_[w].store(0, std::memory_order_relaxed);
+  }
+}
+
+void SidecarFabric::MarkCheckpoint(uint32_t worker) {
   std::lock_guard<std::mutex> lock(mutex_);
-  bytes_sent_.assign(num_workers_, 0);
-  messages_sent_.assign(num_workers_, 0);
+  if (transport_ != nullptr) transport_->MarkCheckpoint(worker);
+}
+
+std::vector<fault::LoggedDelivery> SidecarFabric::ReplayLog(
+    uint32_t worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (transport_ == nullptr) return {};
+  return transport_->ReplayLog(worker);
+}
+
+int SidecarFabric::CurrentRound() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return transport_ == nullptr ? 0 : transport_->CurrentRound();
+}
+
+fault::ReliableTransport::Stats SidecarFabric::transport_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (transport_ == nullptr) return {};
+  return transport_->stats();
 }
 
 }  // namespace s2::dist

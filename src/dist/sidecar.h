@@ -7,12 +7,23 @@
 // are serialized bytes, queues are drained at phase boundaries, and
 // per-worker sent/received byte counters feed the cost model
 // (DESIGN.md substitution S3).
+//
+// Two delivery modes:
+//   - direct (default): a perfect, loss-free queue — zero overhead;
+//   - reliable: every message runs through fault::ReliableTransport
+//     (sequence numbers, cumulative acks, retransmits) with an optional
+//     FaultInjector perturbing frames. The sidecar survives worker
+//     crashes — like the paper's separate sidecar process — so its
+//     channel state and replay logs are what recovery builds on.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "dist/message.h"
+#include "fault/reliable.h"
 
 namespace s2::dist {
 
@@ -24,30 +35,61 @@ class SidecarFabric {
   uint32_t num_workers() const { return num_workers_; }
   uint32_t WorkerOf(topo::NodeId node) const { return assignment_[node]; }
 
+  // Switches the fabric to reliable delivery. `injector` (may be null for
+  // pure reliability) must outlive the fabric; `keep_replay_log` enables
+  // the per-worker delivery log crash recovery needs. Call before any
+  // traffic flows.
+  void EnableReliableDelivery(const fault::FaultPlan& tuning,
+                              const fault::FaultInjector* injector,
+                              bool keep_replay_log);
+  bool reliable() const { return transport_ != nullptr; }
+
   // Routes `message` to the sidecar of the worker hosting its to_node.
   // Thread-safe: workers send concurrently during parallel phases.
   void Send(uint32_t from_worker, Message message);
 
-  // Drains the inbound queue of `worker`.
+  // Drains the inbound queue of `worker`. In reliable mode this advances
+  // logical time: every worker must drain exactly once per orchestrator
+  // round.
   std::vector<Message> Drain(uint32_t worker);
 
-  // True if any queue holds undelivered messages.
+  // True if any message is undelivered (reliable mode: also while any
+  // data frame is delayed or unacked).
   bool HasPending() const;
 
   size_t bytes_sent_by(uint32_t worker) const;
   size_t messages_sent_by(uint32_t worker) const;
   size_t total_bytes() const;
 
+  // High-water mark of `worker`'s inbound queue since construction (or the
+  // last ResetCounters in direct mode).
+  size_t max_queue_depth(uint32_t worker) const;
+
   // Resets the per-worker counters (between phases/experiments).
   void ResetCounters();
+
+  // ------------------------------------------------ recovery (reliable mode)
+  // Truncates the replay log of `worker` (taken together with a worker
+  // checkpoint at a barrier).
+  void MarkCheckpoint(uint32_t worker);
+  // Messages delivered to `worker` since its last checkpoint mark, tagged
+  // with their delivery round.
+  std::vector<fault::LoggedDelivery> ReplayLog(uint32_t worker) const;
+  // Completed global drain rounds (0 in direct mode).
+  int CurrentRound() const;
+  fault::ReliableTransport::Stats transport_stats() const;
 
  private:
   uint32_t num_workers_;
   std::vector<uint32_t> assignment_;
   mutable std::mutex mutex_;
   std::vector<std::vector<Message>> queues_;       // per receiving worker
-  std::vector<size_t> bytes_sent_;                 // per sending worker
-  std::vector<size_t> messages_sent_;
+  // Counters are atomics so concurrent senders never race, even where the
+  // queue lock is not held.
+  std::vector<std::atomic<size_t>> bytes_sent_;    // per sending worker
+  std::vector<std::atomic<size_t>> messages_sent_;
+  std::vector<std::atomic<size_t>> max_queue_depth_;
+  std::unique_ptr<fault::ReliableTransport> transport_;
 };
 
 }  // namespace s2::dist

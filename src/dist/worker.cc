@@ -42,14 +42,18 @@ void Worker::BeginBgp(const cp::PrefixSet* shard) {
   for (topo::NodeId id : local_) nodes_.at(id)->BeginBgp(shard);
 }
 
-bool Worker::ComputeAndShip() {
+bool Worker::ComputeAndShip() { return ComputeAndShipImpl(false); }
+
+bool Worker::ComputeAndShipImpl(bool suppress_remote) {
   util::Stopwatch watch;
   bool any = false;
   for (topo::NodeId id : local_) {
     any = nodes_.at(id)->ComputeRound() || any;
   }
   // Ship outboxes: local deliveries are buffered for phase B; remote ones
-  // are serialized and sent through the sidecar.
+  // are serialized and sent through the sidecar. During post-crash replay
+  // remote sends are suppressed — they were shipped before the crash and
+  // live on in the surviving sidecar — but outboxes are still drained.
   for (topo::NodeId id : local_) {
     cp::Node& node = *nodes_.at(id);
     for (const cp::Node::Session& session : node.sessions()) {
@@ -60,7 +64,7 @@ bool Worker::ComputeAndShip() {
         auto& box = local_pending_[{session.peer, id}];
         box.insert(box.end(), std::make_move_iterator(updates.begin()),
                    std::make_move_iterator(updates.end()));
-      } else {
+      } else if (!suppress_remote) {
         Message message;
         message.type = MessageType::kRouteUpdates;
         message.to_node = session.peer;
@@ -76,7 +80,13 @@ bool Worker::ComputeAndShip() {
 
 void Worker::Deliver() {
   util::Stopwatch watch;
-  for (Message& message : fabric_->Drain(index_)) {
+  DeliverBatch(fabric_->Drain(index_));
+  last_phase_seconds_ += watch.ElapsedSeconds();
+}
+
+void Worker::DeliverBatch(std::vector<Message> messages) {
+  for (Message& message : messages) {
+    if (message.type != MessageType::kRouteUpdates) continue;
     shadows_.at(message.from_node)
         .Deliver(message.to_node, cp::DeserializeRoutes(message.payload));
   }
@@ -98,7 +108,6 @@ void Worker::Deliver() {
       if (!updates.empty()) node.ReceiveUpdates(session.peer, updates);
     }
   }
-  last_phase_seconds_ += watch.ElapsedSeconds();
 }
 
 void Worker::SpillBgp(cp::RibStore& store, int shard) {
@@ -207,6 +216,67 @@ void Worker::ResetDataPlane() {
     tracker_.Release(fib_bytes_);
     fib_bytes_ = 0;
   }
+}
+
+// ---------------------------------------------- crash recovery (src/fault)
+
+fault::WorkerCheckpoint Worker::Checkpoint(int shard) const {
+  fault::WorkerCheckpoint checkpoint;
+  checkpoint.shard = shard;
+  for (topo::NodeId id : local_) {
+    nodes_.at(id)->SerializeState(checkpoint.node_state[id]);
+  }
+  return checkpoint;
+}
+
+void Worker::CheckpointDataPlane(fault::WorkerCheckpoint& checkpoint) const {
+  checkpoint.has_data_plane = true;
+  checkpoint.fib_bytes = fib_bytes_;
+  checkpoint.predicate_state.clear();
+  for (topo::NodeId id : local_) {
+    checkpoint.predicate_state[id] =
+        fault::SerializePredicates(engine_->node_predicates(id));
+  }
+}
+
+void Worker::Restore(const fault::WorkerCheckpoint& checkpoint,
+                     const cp::PrefixSet* shard) {
+  for (topo::NodeId id : local_) {
+    nodes_.at(id)->RestoreState(checkpoint.node_state.at(id), shard);
+  }
+}
+
+void Worker::ReplayDelivered(int from_round, int to_round,
+                             const std::vector<fault::LoggedDelivery>& log) {
+  size_t i = 0;
+  for (int round = from_round; round < to_round; ++round) {
+    ComputeAndShipImpl(/*suppress_remote=*/true);
+    std::vector<Message> batch;
+    while (i < log.size() && log[i].round <= round) {
+      batch.push_back(log[i++].message);
+    }
+    DeliverBatch(std::move(batch));
+  }
+}
+
+void Worker::RestoreDataPlane(const fault::WorkerCheckpoint& checkpoint) {
+  util::Stopwatch watch;
+  bdd::Manager::Options bdd_options;
+  bdd_options.max_nodes = options_.max_bdd_nodes;
+  bdd_options.tracker = &tracker_;
+  manager_ = std::make_unique<bdd::Manager>(options_.layout.total_bits(),
+                                            bdd_options);
+  dp::PacketCodec codec(manager_.get(), options_.layout);
+  dp::ForwardingEngine::Options engine_options;
+  engine_options.max_hops = options_.max_hops;
+  engine_ = std::make_unique<dp::ForwardingEngine>(codec, engine_options);
+  for (topo::NodeId id : local_) {
+    engine_->AddNode(id, fault::DeserializePredicates(
+                             *manager_, checkpoint.predicate_state.at(id)));
+  }
+  fib_bytes_ = checkpoint.fib_bytes;
+  tracker_.Charge(fib_bytes_);
+  predicate_seconds_ += watch.ElapsedSeconds();
 }
 
 }  // namespace s2::dist

@@ -22,6 +22,7 @@
 #include "dist/sidecar.h"
 #include "dp/forwarding.h"
 #include "dp/properties.h"
+#include "fault/checkpoint.h"
 #include "util/stopwatch.h"
 
 namespace s2::dist {
@@ -93,6 +94,33 @@ class Worker {
   // Frees data-plane state (between experiments).
   void ResetDataPlane();
 
+  // -------------------------------------------- crash recovery (src/fault)
+  // Snapshots this worker's control-plane state at a barrier. `shard` is
+  // the active shard index (-1 = none); the caller stamps fabric_round.
+  fault::WorkerCheckpoint Checkpoint(int shard) const;
+
+  // Adds the data-plane snapshot (canonical predicate bytes + FIB size) to
+  // an existing checkpoint. Call after BuildDataPlane.
+  void CheckpointDataPlane(fault::WorkerCheckpoint& checkpoint) const;
+
+  // Restores a freshly constructed worker from a checkpoint. `shard` must
+  // resolve checkpoint.shard against the live partition plan.
+  void Restore(const fault::WorkerCheckpoint& checkpoint,
+               const cp::PrefixSet* shard);
+
+  // Re-executes the rounds lost between the checkpoint and the crash: for
+  // each round in [from_round, to_round), one local compute with remote
+  // sends suppressed (receivers already hold them — they are in the
+  // surviving sidecar's custody), then the round's logged deliveries.
+  // Because the checkpoint restores dirty marks exactly, this reproduces
+  // the pre-crash state bit for bit.
+  void ReplayDelivered(int from_round, int to_round,
+                       const std::vector<fault::LoggedDelivery>& log);
+
+  // Rebuilds the data-plane engine from checkpointed predicate bytes
+  // (re-encoded into a fresh manager) instead of recomputing FIBs.
+  void RestoreDataPlane(const fault::WorkerCheckpoint& checkpoint);
+
   // ------------------------------------------------------------- metrics
   // Wall time this worker spent computing in the last phase call.
   double last_phase_seconds() const { return last_phase_seconds_; }
@@ -104,6 +132,9 @@ class Worker {
   const cp::Node& node(topo::NodeId id) const { return *nodes_.at(id); }
 
  private:
+  bool ComputeAndShipImpl(bool suppress_remote);
+  void DeliverBatch(std::vector<Message> messages);
+
   uint32_t index_;
   const config::ParsedNetwork* network_;
   SidecarFabric* fabric_;

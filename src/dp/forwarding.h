@@ -70,6 +70,13 @@ class ForwardingEngine {
   void AddNode(topo::NodeId id, NodePredicates preds);
   bool Owns(topo::NodeId id) const { return nodes_.count(id) != 0; }
 
+  // The registered predicates of a local node (fault checkpoints hash and
+  // serialize these; bdd_io's canonical encoding makes the bytes a stable
+  // fingerprint of the FIB semantics).
+  const NodePredicates& node_predicates(topo::NodeId id) const {
+    return nodes_.at(id);
+  }
+
   // Installs the waypoint write rule: packets traversing `node` get
   // metadata bit `meta_bit` set (§4.4).
   void SetWaypointBit(topo::NodeId node, uint32_t meta_bit);

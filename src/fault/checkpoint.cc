@@ -1,0 +1,87 @@
+#include "fault/checkpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "bdd/bdd_io.h"
+#include "cp/route.h"
+
+namespace s2::fault {
+
+namespace {
+
+void PutBddSection(std::vector<uint8_t>& out, const bdd::Bdd& f) {
+  std::vector<uint8_t> chunk = bdd::Serialize(f);
+  cp::PutWireU32(out, static_cast<uint32_t>(chunk.size()));
+  out.insert(out.end(), chunk.begin(), chunk.end());
+}
+
+bdd::Bdd GetBddSection(bdd::Manager& manager,
+                       const std::vector<uint8_t>& bytes, size_t& pos) {
+  uint32_t len = cp::GetWireU32(bytes, pos);
+  if (pos + len > bytes.size()) std::abort();
+  std::vector<uint8_t> chunk(bytes.data() + pos, bytes.data() + pos + len);
+  pos += len;
+  return bdd::DeserializeInto(manager, chunk);
+}
+
+// Per-port predicate maps are unordered; serialize in sorted neighbor
+// order so equal predicates always produce equal bytes.
+void PutPortMap(std::vector<uint8_t>& out,
+                const std::unordered_map<topo::NodeId, bdd::Bdd>& ports) {
+  std::vector<topo::NodeId> ids;
+  ids.reserve(ports.size());
+  for (const auto& [id, f] : ports) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  cp::PutWireU32(out, static_cast<uint32_t>(ids.size()));
+  for (topo::NodeId id : ids) {
+    cp::PutWireU32(out, id);
+    PutBddSection(out, ports.at(id));
+  }
+}
+
+std::unordered_map<topo::NodeId, bdd::Bdd> GetPortMap(
+    bdd::Manager& manager, const std::vector<uint8_t>& bytes, size_t& pos) {
+  std::unordered_map<topo::NodeId, bdd::Bdd> ports;
+  uint32_t count = cp::GetWireU32(bytes, pos);
+  for (uint32_t i = 0; i < count; ++i) {
+    topo::NodeId id = cp::GetWireU32(bytes, pos);
+    ports.emplace(id, GetBddSection(manager, bytes, pos));
+  }
+  return ports;
+}
+
+}  // namespace
+
+size_t WorkerCheckpoint::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [node, bytes] : node_state) total += bytes.size();
+  for (const auto& [node, bytes] : predicate_state) total += bytes.size();
+  return total;
+}
+
+std::vector<uint8_t> SerializePredicates(const dp::NodePredicates& preds) {
+  std::vector<uint8_t> out;
+  PutBddSection(out, preds.arrive);
+  PutBddSection(out, preds.exit);
+  PutBddSection(out, preds.discard);
+  PutPortMap(out, preds.forward);
+  PutPortMap(out, preds.acl_in);
+  PutPortMap(out, preds.acl_out);
+  return out;
+}
+
+dp::NodePredicates DeserializePredicates(bdd::Manager& manager,
+                                         const std::vector<uint8_t>& bytes) {
+  dp::NodePredicates preds;
+  size_t pos = 0;
+  preds.arrive = GetBddSection(manager, bytes, pos);
+  preds.exit = GetBddSection(manager, bytes, pos);
+  preds.discard = GetBddSection(manager, bytes, pos);
+  preds.forward = GetPortMap(manager, bytes, pos);
+  preds.acl_in = GetPortMap(manager, bytes, pos);
+  preds.acl_out = GetPortMap(manager, bytes, pos);
+  return preds;
+}
+
+}  // namespace s2::fault

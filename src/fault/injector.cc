@@ -1,0 +1,70 @@
+#include "fault/injector.h"
+
+namespace s2::fault {
+
+namespace {
+
+// SplitMix64 finalizer (same constants as util::Rng) over a running state.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// A deterministic per-(frame, purpose) uniform double in [0,1).
+double Roll(uint64_t key, uint32_t purpose) {
+  uint64_t h = Mix(key + purpose * 0x9e3779b97f4a7c15ULL);
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t FrameKey(uint64_t seed, uint32_t from, uint32_t to, uint64_t seq,
+                  uint32_t attempt) {
+  uint64_t key = seed;
+  key = Mix(key ^ (uint64_t{from} << 32 | to));
+  key = Mix(key ^ seq);
+  key = Mix(key ^ attempt);
+  return key;
+}
+
+}  // namespace
+
+FrameFate FaultInjector::Classify(uint32_t from, uint32_t to, uint64_t seq,
+                                  uint32_t attempt) const {
+  FrameFate fate;
+  const LinkFaults& link = plan_.LinkFor(from, to);
+  if (!link.Any()) return fate;
+  uint64_t key = FrameKey(plan_.seed, from, to, seq, attempt);
+  fate.drop = Roll(key, 1) < link.drop;
+  if (fate.drop) return fate;
+  fate.duplicate = Roll(key, 2) < link.duplicate;
+  fate.reorder = Roll(key, 3) < link.reorder;
+  if (link.max_delay_rounds > 0) {
+    fate.delay_rounds = static_cast<int>(
+        Roll(key, 4) * (link.max_delay_rounds + 1));
+    fate.duplicate_delay_rounds = static_cast<int>(
+        Roll(key, 5) * (link.max_delay_rounds + 1));
+  }
+  return fate;
+}
+
+std::vector<uint32_t> FaultInjector::TakeCrashes(CrashPhase phase,
+                                                 int round) {
+  std::vector<uint32_t> due;
+  for (size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const CrashEvent& event = plan_.crashes[i];
+    if (fired_[i] || event.phase != phase) continue;
+    // Control-plane crashes fire at the first barrier at or past their
+    // round — fault-induced retransmit rounds shift convergence, so exact
+    // matching would make schedules brittle. Events past the last round a
+    // run reaches stay pending (tests assert crashes_fired()).
+    if (phase == CrashPhase::kControlPlaneRound && event.round > round) {
+      continue;
+    }
+    fired_[i] = true;
+    ++crashes_fired_;
+    due.push_back(event.worker);
+  }
+  return due;
+}
+
+}  // namespace s2::fault

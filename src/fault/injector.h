@@ -1,0 +1,51 @@
+// FaultInjector: turns a FaultPlan into deterministic per-frame decisions.
+//
+// Determinism is the design constraint: workers send concurrently from a
+// thread pool, so consuming a shared RNG stream in call order would make
+// the fault schedule depend on thread interleaving. Instead every decision
+// is a pure SplitMix64 hash of (seed, from, to, channel sequence number,
+// attempt) — the same frame always meets the same fate in every run, and a
+// retransmission (attempt+1) rolls fresh dice, so a lossy link cannot
+// swallow a frame forever.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/plan.h"
+
+namespace s2::fault {
+
+// What happens to one transmitted frame.
+struct FrameFate {
+  bool drop = false;
+  bool duplicate = false;  // deliver a second copy (with its own delay)
+  bool reorder = false;    // demote behind the rest of its drain batch
+  int delay_rounds = 0;
+  int duplicate_delay_rounds = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // The fate of attempt #`attempt` at shipping frame `seq` of channel
+  // from->to. Pure function of the arguments and the plan seed.
+  FrameFate Classify(uint32_t from, uint32_t to, uint64_t seq,
+                     uint32_t attempt) const;
+
+  // Scheduled crashes due at this barrier; each event fires exactly once.
+  // Thread-compatible: called from orchestrator barriers only.
+  std::vector<uint32_t> TakeCrashes(CrashPhase phase, int round);
+
+  size_t crashes_fired() const { return crashes_fired_; }
+
+ private:
+  FaultPlan plan_;
+  std::vector<bool> fired_ = std::vector<bool>(plan_.crashes.size(), false);
+  size_t crashes_fired_ = 0;
+};
+
+}  // namespace s2::fault

@@ -1,0 +1,87 @@
+// Fault plan: the declarative description of everything that can go wrong
+// in the sidecar fabric (paper §3.2 runs on a real 5-server testbed where
+// RPCs are lost, delayed, duplicated, and workers die mid-phase; this
+// subsystem makes those behaviours expressible in-process).
+//
+// A FaultPlan is pure data — probabilities per link, scheduled crash
+// events, and protocol tuning. A seeded FaultInjector (fault/injector.h)
+// turns it into deterministic per-frame decisions, so any fault schedule
+// is exactly replayable from (plan, seed).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace s2::fault {
+
+// Fault probabilities of one directed worker->worker link. Applied per
+// transmitted frame (including retransmissions, each with independent
+// randomness — a retransmit of a dropped frame is not doomed to drop).
+struct LinkFaults {
+  double drop = 0.0;       // frame never arrives
+  double duplicate = 0.0;  // frame arrives twice
+  double reorder = 0.0;    // frame is delivered after later frames of the
+                           // same drain batch
+  int max_delay_rounds = 0;  // uniform extra delay in [0, max] rounds
+
+  bool Any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || max_delay_rounds > 0;
+  }
+};
+
+// Where in the verification workflow a scheduled crash fires. Crashes are
+// injected at barriers only — the points where the paper's controller
+// observes worker liveness.
+enum class CrashPhase : uint8_t {
+  // After phase B of the given cumulative control-plane round (rounds are
+  // counted across the OSPF pass and every BGP shard).
+  kControlPlaneRound,
+  // After the distributed FIB/predicate build, before any query runs.
+  kDataPlaneBuild,
+};
+
+struct CrashEvent {
+  CrashPhase phase = CrashPhase::kControlPlaneRound;
+  int round = 0;  // meaningful for kControlPlaneRound; ignored otherwise
+  uint32_t worker = 0;
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  // Default faults for every directed link; per_link overrides win.
+  LinkFaults default_link;
+  std::map<std::pair<uint32_t, uint32_t>, LinkFaults> per_link;
+
+  std::vector<CrashEvent> crashes;
+
+  // --------------------------------------------- reliability protocol tuning
+  // Retransmit timeout in rounds for the first attempt; doubles per attempt
+  // up to max_rto_rounds (capped exponential backoff).
+  int initial_rto_rounds = 2;
+  int max_rto_rounds = 16;
+
+  // Control-plane rounds between worker checkpoints (checkpoints are also
+  // taken at every pass/shard begin barrier). Must be >= 1.
+  int checkpoint_interval = 4;
+
+  const LinkFaults& LinkFor(uint32_t from, uint32_t to) const {
+    auto it = per_link.find({from, to});
+    return it == per_link.end() ? default_link : it->second;
+  }
+
+  // True when the plan can actually perturb a run (any probability, delay,
+  // or scheduled crash). A disabled plan still exercises the reliability
+  // envelope when installed — that is what bench/fault_overhead measures.
+  bool Enabled() const {
+    if (default_link.Any() || !crashes.empty()) return true;
+    for (const auto& [link, faults] : per_link) {
+      if (faults.Any()) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace s2::fault
