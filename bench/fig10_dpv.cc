@@ -51,6 +51,131 @@ Phases RunS2(const config::ParsedNetwork& parsed, const dp::Query& query,
           result.dp_forward.modeled_seconds};
 }
 
+// A compact fingerprint of a verdict, used to assert the parallel
+// multi-query path agrees with the sequential per-query path.
+std::string VerdictSummary(const dp::QueryResult& result) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "r%zu/u%zu/l%d(%zu)/b%d(%zu)",
+                result.reachable_pairs, result.unreachable_pairs,
+                result.loop_free ? 1 : 0, result.loop_finals,
+                result.blackhole_free ? 1 : 0, result.blackhole_finals);
+  return buf;
+}
+
+// Multi-query mode (EXPERIMENTS.md "dpv-parallel"): N independent
+// single-pair queries over one FatTree, run through Dpo::RunQueries.
+// Speedup is modeled (DESIGN.md §3 — this box has 1 core): per-query busy
+// is thread-CPU time; sequential cost is the sum, parallel cost the LPT
+// makespan over 8 query lanes. Exit status is nonzero if the modeled
+// speedup falls below 1.5x or any parallel verdict disagrees with the
+// sequential oracle.
+int RunMultiQueryMode() {
+  constexpr int kFatTreeK = 6;
+  constexpr size_t kQueryLanes = 8;
+  BuiltNetwork built = BuildFatTree(kFatTreeK);
+  const config::ParsedNetwork& parsed = built.parsed;
+
+  // ~16 single-pair queries across pod pairs and edge prefixes.
+  std::vector<dp::Query> queries;
+  for (int qi = 0; queries.size() < 16; ++qi) {
+    int src_pod = qi % kFatTreeK;
+    int dst_pod = (qi + 1 + qi / kFatTreeK) % kFatTreeK;
+    if (src_pod == dst_pod) continue;
+    char src_name[32], dst_name[32], prefix[32];
+    std::snprintf(src_name, sizeof(src_name), "edge-%d-%d", src_pod,
+                  qi % (kFatTreeK / 2));
+    std::snprintf(dst_name, sizeof(dst_name), "edge-%d-%d", dst_pod,
+                  (qi / 2) % (kFatTreeK / 2));
+    std::snprintf(prefix, sizeof(prefix), "10.%d.%d.0/24", dst_pod,
+                  (qi / 2) % (kFatTreeK / 2));
+    dp::Query query;
+    query.sources = {parsed.graph.FindByName(src_name)};
+    query.destinations = {parsed.graph.FindByName(dst_name)};
+    query.header_space.dst = util::MustParsePrefix(prefix);
+    queries.push_back(std::move(query));
+  }
+
+  dist::ControllerOptions options = S2Options(8, kShards);
+  options.worker_memory_budget = 0;
+  options.query_lanes = kQueryLanes;
+  dist::Controller controller(parsed, options);
+  controller.Setup();
+  controller.RunControlPlane();
+  controller.BuildDataPlanes();
+
+  // Sequential oracle first: the classic per-query fabric rounds.
+  std::vector<std::string> seq_verdicts;
+  for (const dp::Query& query : queries) {
+    seq_verdicts.push_back(VerdictSummary(controller.RunQuery(query).result));
+  }
+
+  dist::Controller::MultiQueryOutcome multi = controller.RunQueries(queries);
+  double seq_modeled = 0;
+  bool verdicts_match = true;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    seq_modeled += multi.outcomes[q].metrics.modeled_seconds;
+    if (VerdictSummary(multi.outcomes[q].result) != seq_verdicts[q]) {
+      verdicts_match = false;
+      std::printf("VERDICT MISMATCH query %zu: seq %s vs par %s\n", q,
+                  seq_verdicts[q].c_str(),
+                  VerdictSummary(multi.outcomes[q].result).c_str());
+    }
+  }
+  double par_modeled = multi.aggregate.modeled_seconds;
+  double speedup = par_modeled > 0 ? seq_modeled / par_modeled : 0;
+
+  std::printf("=== multi-query mode: %zu single-pair queries, k=%d, "
+              "8 workers, %zu query lanes ===\n",
+              queries.size(), kFatTreeK, kQueryLanes);
+  std::printf("%-34s %s\n", "modeled sequential (sum busy):",
+              core::HumanSeconds(seq_modeled).c_str());
+  std::printf("%-34s %s\n", "modeled parallel (LPT makespan):",
+              core::HumanSeconds(par_modeled).c_str());
+  std::printf("%-34s %.2fx\n", "modeled speedup:", speedup);
+  std::printf("%-34s hits=%zu misses=%zu evictions=%zu\n", "bdd op-cache:",
+              multi.aggregate.bdd_cache_hits,
+              multi.aggregate.bdd_cache_misses,
+              multi.aggregate.bdd_cache_evictions);
+  std::printf("%-34s %s\n",
+              "verdicts vs sequential oracle:",
+              verdicts_match ? "identical" : "MISMATCH");
+
+  std::FILE* json = std::fopen("BENCH_dpv_parallel.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"benchmark\": \"fig10_dpv_multi_query\",\n"
+        "  \"topology\": \"fattree-k%d\",\n"
+        "  \"workers\": 8,\n"
+        "  \"query_lanes\": %zu,\n"
+        "  \"queries\": %zu,\n"
+        "  \"modeled_sequential_seconds\": %.6f,\n"
+        "  \"modeled_parallel_seconds\": %.6f,\n"
+        "  \"modeled_speedup\": %.3f,\n"
+        "  \"bdd_cache_hits\": %zu,\n"
+        "  \"bdd_cache_misses\": %zu,\n"
+        "  \"bdd_cache_evictions\": %zu,\n"
+        "  \"verdicts_match_sequential\": %s\n"
+        "}\n",
+        kFatTreeK, kQueryLanes, queries.size(), seq_modeled, par_modeled,
+        speedup, multi.aggregate.bdd_cache_hits,
+        multi.aggregate.bdd_cache_misses,
+        multi.aggregate.bdd_cache_evictions,
+        verdicts_match ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_dpv_parallel.json\n");
+  }
+  std::printf("\n");
+
+  if (!verdicts_match) return 1;
+  if (speedup < 1.5) {
+    std::printf("FAIL: modeled speedup %.2fx < 1.5x\n", speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -84,6 +209,6 @@ int main() {
   std::printf(
       "expected shape: s2 beats batfish in both phases; the predicate\n"
       "phase speedup approaches the worker count; the gap widens with k;\n"
-      "single-pair checks also speed up (packets fan across workers).\n");
-  return 0;
+      "single-pair checks also speed up (packets fan across workers).\n\n");
+  return RunMultiQueryMode();
 }

@@ -77,6 +77,61 @@ Manager::Manager(uint32_t num_vars, Options options)
   nodes_.push_back(Node{kTerminalVar, kOne, kOne});
   refcounts_.assign(2, 1);
   peak_nodes_ = 2;
+  bin_cache_.Init(options_.op_cache_entries);
+  ite_cache_.Init(options_.op_cache_entries);
+}
+
+// --------------------------------------------------------------- op cache
+
+void Manager::OpCache::Init(size_t entries) {
+  size_t sets = 8;  // 16 entries minimum at 2 ways per set
+  while (sets * 2 < entries) sets *= 2;
+  set_mask_ = sets - 1;
+  slots_.assign(sets * 2, OpCacheEntry{});
+}
+
+size_t Manager::OpCache::SetOf(uint32_t a, uint32_t b, uint32_t c) const {
+  uint64_t h = a;
+  h = h * 0x9e3779b97f4a7c15ULL + b;
+  h = h * 0x9e3779b97f4a7c15ULL + c;
+  h ^= h >> 32;
+  return static_cast<size_t>(h) & set_mask_;
+}
+
+uint32_t Manager::OpCache::Lookup(uint32_t a, uint32_t b, uint32_t c,
+                                  uint32_t gen, CacheStats& stats) {
+  size_t base = SetOf(a, b, c) * 2;
+  for (size_t way = 0; way < 2; ++way) {
+    OpCacheEntry& e = slots_[base + way];
+    if (e.a == a && e.b == b && e.c == c && e.a != kEmptySlot) {
+      e.gen = gen;  // hot entries survive the next generational eviction
+      ++stats.hits;
+      return e.result;
+    }
+  }
+  ++stats.misses;
+  return kEmptySlot;
+}
+
+void Manager::OpCache::Insert(uint32_t a, uint32_t b, uint32_t c,
+                              uint32_t result, uint32_t gen,
+                              CacheStats& stats) {
+  size_t base = SetOf(a, b, c) * 2;
+  size_t victim = base;
+  for (size_t way = 0; way < 2; ++way) {
+    OpCacheEntry& e = slots_[base + way];
+    if (e.a == kEmptySlot || (e.a == a && e.b == b && e.c == c)) {
+      victim = base + way;
+      break;
+    }
+    // Prefer displacing the colder (older-generation) way.
+    if (e.gen < slots_[victim].gen) victim = base + way;
+  }
+  OpCacheEntry& e = slots_[victim];
+  if (e.a != kEmptySlot && !(e.a == a && e.b == b && e.c == c)) {
+    ++stats.evictions;
+  }
+  e = OpCacheEntry{a, b, c, result, gen};
 }
 
 Manager::~Manager() {
@@ -161,8 +216,9 @@ void Manager::MaybeGc() {
 }
 
 void Manager::GarbageCollect() {
-  bin_cache_.clear();
-  ite_cache_.clear();
+  // Entries inserted (or hit) after this sweep carry the new generation;
+  // entries untouched since the previous sweep become eviction victims.
+  ++generation_;
   // Sweep with a worklist: freeing a node drops its children's internal
   // references, which can cascade.
   std::vector<uint32_t> worklist;
@@ -196,6 +252,26 @@ void Manager::GarbageCollect() {
   if (options_.tracker && freed > 0) {
     options_.tracker->Release(freed * kNodeBytes);
   }
+  // Keep memoized results that only touch surviving nodes; drop entries
+  // referencing freed slots. A freed slot is reused by a later MakeNode for
+  // a different function, so a stale entry would silently corrupt results.
+  // free_list_ is only refilled during this sweep and consumed afterwards,
+  // so purging here precedes any reuse.
+  auto gone = [&](uint32_t id) {
+    return id > kOne && nodes_[id].var == kFreeVar;
+  };
+  bin_cache_.Purge(
+      [&](const OpCacheEntry& e) {
+        if (gone(e.a) || gone(e.result)) return true;
+        // For kRestrict0, `b` packs (var << 1) | value, not a node id.
+        return e.c != kRestrict0 && gone(e.b);
+      },
+      cache_stats_);
+  ite_cache_.Purge(
+      [&](const OpCacheEntry& e) {
+        return gone(e.a) || gone(e.b) || gone(e.c) || gone(e.result);
+      },
+      cache_stats_);
 }
 
 uint32_t Manager::ApplyBin(BinOp op, uint32_t a, uint32_t b) {
@@ -223,9 +299,8 @@ uint32_t Manager::ApplyBin(BinOp op, uint32_t a, uint32_t b) {
       break;  // handled in RestrictRec
   }
   if (op != kRestrict0 && a > b) std::swap(a, b);  // commutative
-  BinKey key{static_cast<uint8_t>(op), a, b};
-  auto it = bin_cache_.find(key);
-  if (it != bin_cache_.end()) return it->second;
+  uint32_t cached = bin_cache_.Lookup(a, b, op, generation_, cache_stats_);
+  if (cached != kEmptySlot) return cached;
 
   uint32_t va = VarOf(a), vb = VarOf(b);
   uint32_t top = std::min(va, vb);
@@ -236,7 +311,7 @@ uint32_t Manager::ApplyBin(BinOp op, uint32_t a, uint32_t b) {
   uint32_t low = ApplyBin(op, a0, b0);
   uint32_t high = ApplyBin(op, a1, b1);
   uint32_t result = MakeNode(top, low, high);
-  bin_cache_.emplace(key, result);
+  bin_cache_.Insert(a, b, op, result, generation_, cache_stats_);
   return result;
 }
 
@@ -266,9 +341,8 @@ uint32_t Manager::IteRec(uint32_t f, uint32_t g, uint32_t h) {
   if (g == h) return g;
   if (g == kOne && h == kZero) return f;
   if (g == kZero && h == kOne) return ApplyBin(kXor, f, kOne);
-  IteKey key{f, g, h};
-  auto it = ite_cache_.find(key);
-  if (it != ite_cache_.end()) return it->second;
+  uint32_t cached = ite_cache_.Lookup(f, g, h, generation_, cache_stats_);
+  if (cached != kEmptySlot) return cached;
 
   uint32_t top = std::min({VarOf(f), VarOf(g), VarOf(h)});
   auto cofactor = [&](uint32_t n, bool hi) {
@@ -279,7 +353,7 @@ uint32_t Manager::IteRec(uint32_t f, uint32_t g, uint32_t h) {
   uint32_t high =
       IteRec(cofactor(f, true), cofactor(g, true), cofactor(h, true));
   uint32_t result = MakeNode(top, low, high);
-  ite_cache_.emplace(key, result);
+  ite_cache_.Insert(f, g, h, result, generation_, cache_stats_);
   return result;
 }
 
@@ -291,13 +365,14 @@ Bdd Manager::Ite(const Bdd& f, const Bdd& g, const Bdd& h) {
 uint32_t Manager::RestrictRec(uint32_t f, uint32_t var, bool value) {
   if (IsTerminal(f) || VarOf(f) > var) return f;
   if (VarOf(f) == var) return value ? nodes_[f].high : nodes_[f].low;
-  BinKey key{kRestrict0, f, (var << 1) | (value ? 1u : 0u)};
-  auto it = bin_cache_.find(key);
-  if (it != bin_cache_.end()) return it->second;
+  uint32_t packed = (var << 1) | (value ? 1u : 0u);
+  uint32_t cached =
+      bin_cache_.Lookup(f, packed, kRestrict0, generation_, cache_stats_);
+  if (cached != kEmptySlot) return cached;
   uint32_t low = RestrictRec(nodes_[f].low, var, value);
   uint32_t high = RestrictRec(nodes_[f].high, var, value);
   uint32_t result = MakeNode(VarOf(f), low, high);
-  bin_cache_.emplace(key, result);
+  bin_cache_.Insert(f, packed, kRestrict0, result, generation_, cache_stats_);
   return result;
 }
 

@@ -14,9 +14,17 @@
 //  - External references are RAII `Bdd` handles that ref/deref the root.
 //    Internal references (parent -> child) are counted at node creation.
 //  - Dead nodes (refcount 0) are reclaimed by explicit or threshold-driven
-//    garbage collection, which also clears the operation caches. Between
-//    collections, dead nodes remain structurally valid, so cache hits that
-//    resurrect them are safe.
+//    garbage collection. Between collections, dead nodes remain
+//    structurally valid, so cache hits that resurrect them are safe.
+//  - Operation results are memoized in fixed-size 2-way set-associative
+//    caches (bin ops and ITE) with generational eviction: every hit stamps
+//    the entry with the current generation, every GC bumps the generation,
+//    and on a set conflict the older-generation way is evicted. GC keeps
+//    cache entries whose operand/result nodes survived the sweep and drops
+//    only entries referencing freed slots (a freed slot may be reused for a
+//    different function, so a stale entry would be unsound). Cache memory
+//    is a small per-manager constant and is not charged to the
+//    MemoryTracker.
 //  - The node table has a configurable capacity; exhausting it throws
 //    SimulatedOom, reproducing the paper's "BDD node table overflow"
 //    failure mode (§2.2). Node bytes are charged to an optional
@@ -97,6 +105,19 @@ class Manager {
     util::MemoryTracker* tracker = nullptr;
     // GC triggers when dead nodes exceed this fraction of allocated nodes.
     double gc_dead_fraction = 0.25;
+    // Capacity of each operation cache (bin and ITE), in entries; rounded
+    // up to a power of two, minimum 16. Unlike an unbounded hash map, op
+    // memoization memory is a fixed per-manager constant.
+    size_t op_cache_entries = size_t{1} << 14;
+  };
+
+  // Aggregate op-cache behavior across both caches since construction.
+  struct CacheStats {
+    size_t hits = 0;        // lookups answered from a cache
+    size_t misses = 0;      // lookups that fell through to recursion
+    size_t evictions = 0;   // valid entries displaced by set conflicts
+    size_t gc_kept = 0;     // entries preserved across a GC sweep
+    size_t gc_dropped = 0;  // entries invalidated because a GC freed a node
   };
 
   explicit Manager(uint32_t num_vars) : Manager(num_vars, Options{}) {}
@@ -146,6 +167,9 @@ class Manager {
   // Internal (non-terminal) nodes still referenced.
   size_t live_nodes() const;
   size_t peak_nodes() const { return peak_nodes_; }
+  const CacheStats& cache_stats() const { return cache_stats_; }
+  // Current cache generation; bumped once per GC sweep.
+  uint32_t generation() const { return generation_; }
   void GarbageCollect();
 
   // Per-node byte estimate used for memory accounting.
@@ -176,34 +200,53 @@ class Manager {
     }
   };
 
-  struct BinKey {
-    uint8_t op;
-    uint32_t a, b;
-    bool operator==(const BinKey&) const = default;
-  };
-  struct BinKeyHash {
-    size_t operator()(const BinKey& k) const {
-      uint64_t h = k.op;
-      h = h * 0x9e3779b97f4a7c15ULL + k.a;
-      h = h * 0x9e3779b97f4a7c15ULL + k.b;
-      return static_cast<size_t>(h ^ (h >> 32));
-    }
-  };
-
-  struct IteKey {
-    uint32_t f, g, h;
-    bool operator==(const IteKey&) const = default;
-  };
-  struct IteKeyHash {
-    size_t operator()(const IteKey& k) const {
-      uint64_t h = k.f;
-      h = h * 0x9e3779b97f4a7c15ULL + k.g;
-      h = h * 0x9e3779b97f4a7c15ULL + k.h;
-      return static_cast<size_t>(h ^ (h >> 32));
-    }
-  };
-
   enum BinOp : uint8_t { kAnd = 0, kOr = 1, kXor = 2, kRestrict0 = 3 };
+
+  static constexpr uint32_t kEmptySlot = ~uint32_t{0};
+
+  // One memoized operation. For the bin cache the key is (a, b, c=op),
+  // where Restrict entries pack (var << 1) | value into `b` — for that op
+  // `b` is NOT a node id. For the ITE cache the key is (a=f, b=g, c=h).
+  struct OpCacheEntry {
+    uint32_t a = kEmptySlot;
+    uint32_t b = 0;
+    uint32_t c = 0;
+    uint32_t result = 0;
+    uint32_t gen = 0;
+  };
+
+  // Fixed-size 2-way set-associative memo table with generational
+  // replacement. Never grows after Init; see the header comment.
+  class OpCache {
+   public:
+    void Init(size_t entries);
+    // Returns the memoized result id, or kEmptySlot on a miss. A hit
+    // refreshes the entry's generation stamp.
+    uint32_t Lookup(uint32_t a, uint32_t b, uint32_t c, uint32_t gen,
+                    CacheStats& stats);
+    void Insert(uint32_t a, uint32_t b, uint32_t c, uint32_t result,
+                uint32_t gen, CacheStats& stats);
+    // Drops entries for which `drop(entry)` is true; tallies the survivors
+    // and casualties into `stats` (gc_kept / gc_dropped).
+    template <typename DropPred>
+    void Purge(DropPred drop, CacheStats& stats) {
+      for (OpCacheEntry& e : slots_) {
+        if (e.a == kEmptySlot) continue;
+        if (drop(e)) {
+          e.a = kEmptySlot;
+          ++stats.gc_dropped;
+        } else {
+          ++stats.gc_kept;
+        }
+      }
+    }
+
+   private:
+    size_t SetOf(uint32_t a, uint32_t b, uint32_t c) const;
+
+    std::vector<OpCacheEntry> slots_;  // 2 ways per set, contiguous
+    size_t set_mask_ = 0;
+  };
 
   static constexpr uint32_t kZero = 0;
   static constexpr uint32_t kOne = 1;
@@ -237,8 +280,10 @@ class Manager {
   size_t gc_watermark_ = 2 * 4096;
 
   std::unordered_map<UniqueKey, uint32_t, UniqueKeyHash> unique_;
-  std::unordered_map<BinKey, uint32_t, BinKeyHash> bin_cache_;
-  std::unordered_map<IteKey, uint32_t, IteKeyHash> ite_cache_;
+  OpCache bin_cache_;
+  OpCache ite_cache_;
+  CacheStats cache_stats_;
+  uint32_t generation_ = 1;
 };
 
 }  // namespace s2::bdd

@@ -71,6 +71,10 @@ VerifyResult MonoVerifier::Verify(const config::ParsedNetwork& network,
     result.dp_build.wall_seconds = build_watch.ElapsedSeconds();
     result.dp_build.modeled_seconds = result.dp_build.wall_seconds;
     result.dp_build.rounds = 1;
+    bdd::Manager::CacheStats build_cache = manager.cache_stats();
+    result.dp_build.bdd_cache_hits = build_cache.hits;
+    result.dp_build.bdd_cache_misses = build_cache.misses;
+    result.dp_build.bdd_cache_evictions = build_cache.evictions;
 
     // ------------------------------------------------------------ queries
     for (const dp::Query& query : queries) {
@@ -93,6 +97,12 @@ VerifyResult MonoVerifier::Verify(const config::ParsedNetwork& network,
     }
     result.dp_forward.modeled_seconds = result.dp_forward.wall_seconds;
     result.dp_forward.rounds = static_cast<int>(queries.size());
+    bdd::Manager::CacheStats total_cache = manager.cache_stats();
+    result.dp_forward.bdd_cache_hits = total_cache.hits - build_cache.hits;
+    result.dp_forward.bdd_cache_misses =
+        total_cache.misses - build_cache.misses;
+    result.dp_forward.bdd_cache_evictions =
+        total_cache.evictions - build_cache.evictions;
   } catch (const util::SimulatedOom& oom) {
     result.status = RunStatus::kOutOfMemory;
     result.failure_detail = oom.what();

@@ -41,12 +41,24 @@ VerifyResult S2Verifier::Verify(config::ParsedNetwork network,
       return result;
     }
     result.dp_build = controller_->BuildDataPlanes();
-    for (const dp::Query& query : queries) {
-      dist::Controller::QueryOutcome outcome = controller_->RunQuery(query);
-      result.dp_forward.Add(outcome.metrics);
-      result.comm_bytes += outcome.gather_bytes;
-      result.forwarding_steps = outcome.forwarding_steps;
-      result.queries.push_back(std::move(outcome.result));
+    if (options_.query_lanes > 1 && queries.size() > 1) {
+      // Query-level parallelism: all queries at once; dp_forward carries
+      // the aggregate (modeled = LPT makespan over the query lanes).
+      dist::Controller::MultiQueryOutcome multi =
+          controller_->RunQueries(queries);
+      result.dp_forward.Add(multi.aggregate);
+      for (dist::Controller::QueryOutcome& outcome : multi.outcomes) {
+        result.comm_bytes += outcome.gather_bytes;
+        result.queries.push_back(std::move(outcome.result));
+      }
+    } else {
+      for (const dp::Query& query : queries) {
+        dist::Controller::QueryOutcome outcome = controller_->RunQuery(query);
+        result.dp_forward.Add(outcome.metrics);
+        result.comm_bytes += outcome.gather_bytes;
+        result.forwarding_steps = outcome.forwarding_steps;
+        result.queries.push_back(std::move(outcome.result));
+      }
     }
   } catch (const util::SimulatedOom& oom) {
     result.status = RunStatus::kOutOfMemory;

@@ -208,6 +208,7 @@ void RibStore::Write(
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
   if (!out) std::abort();  // disk trouble is not a recoverable verdict
+  std::lock_guard<std::mutex> lock(mutex_);
   bytes_written_ += bytes.size();
   routes_written_ += updates.size();
   entries_.emplace_back(shard, node);
@@ -216,7 +217,14 @@ void RibStore::Write(
 std::map<util::Ipv4Prefix, std::vector<Route>> RibStore::ReadAll(
     topo::NodeId node) const {
   std::map<util::Ipv4Prefix, std::vector<Route>> merged;
-  for (const auto& [shard, entry_node] : entries_) {
+  std::vector<std::pair<int, topo::NodeId>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries = entries_;
+  }
+  // Shards hold disjoint prefixes, so each merged[prefix] is filled from a
+  // single file and the entry order cannot change the result.
+  for (const auto& [shard, entry_node] : entries) {
     if (entry_node != node) continue;
     auto path = dir_ / (std::to_string(shard) + "-" +
                         std::to_string(entry_node) + ".rib");

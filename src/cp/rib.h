@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -108,6 +109,8 @@ class RibStore {
   RibStore(const RibStore&) = delete;
   RibStore& operator=(const RibStore&) = delete;
 
+  // Thread-safe: workers spill concurrently; each (shard, node) pair is
+  // written by exactly one worker, so only the bookkeeping is shared.
   void Write(int shard, topo::NodeId node,
              const std::map<util::Ipv4Prefix, std::vector<Route>>& best);
 
@@ -120,6 +123,7 @@ class RibStore {
 
  private:
   std::filesystem::path dir_;
+  mutable std::mutex mutex_;  // guards the counters and entries_
   size_t bytes_written_ = 0;
   size_t routes_written_ = 0;
   std::vector<std::pair<int, topo::NodeId>> entries_;

@@ -26,17 +26,9 @@ void Controller::Setup() {
         /*keep_replay_log=*/injector_ != nullptr);
   }
 
-  worker_options_.memory_budget = options_.worker_memory_budget;
-  worker_options_.max_bdd_nodes = options_.max_bdd_nodes;
-  worker_options_.layout = options_.layout;
-  worker_options_.max_hops = options_.max_hops;
-  workers_.clear();
-  for (uint32_t w = 0; w < options_.num_workers; ++w) {
-    workers_.push_back(std::make_unique<Worker>(w, network_, fabric_.get(),
-                                                worker_options_));
-  }
-  checkpoints_.assign(options_.num_workers, fault::WorkerCheckpoint{});
-
+  // The pool must exist before the workers: worker options carry the pool
+  // pointer so the data-plane lanes can fan out on it (and RecoverWorker
+  // re-creates workers from the same options later).
   size_t threads = options_.pool_threads;
   if (threads == 0) {
     threads = std::min<size_t>(options_.num_workers,
@@ -44,6 +36,20 @@ void Controller::Setup() {
                                         std::thread::hardware_concurrency()));
   }
   pool_ = std::make_unique<util::ThreadPool>(threads);
+
+  worker_options_.memory_budget = options_.worker_memory_budget;
+  worker_options_.max_bdd_nodes = options_.max_bdd_nodes;
+  worker_options_.layout = options_.layout;
+  worker_options_.max_hops = options_.max_hops;
+  worker_options_.dp_lanes = options_.dp_lanes;
+  worker_options_.pool = pool_.get();
+  workers_.clear();
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(w, network_, fabric_.get(),
+                                                worker_options_));
+  }
+  checkpoints_.assign(options_.num_workers, fault::WorkerCheckpoint{});
+
   FaultHooks hooks;
   if (injector_ != nullptr) {
     hooks.injector = injector_.get();
@@ -55,7 +61,7 @@ void Controller::Setup() {
                                options_.cost, options_.max_rounds,
                                std::move(hooks));
   dpo_ = std::make_unique<Dpo>(&workers_, fabric_.get(), pool_.get(),
-                               options_.cost);
+                               options_.cost, worker_options_);
 
   if (options_.num_shards > 0) {
     plan_ = cp::BuildShardPlan(network_, options_.num_shards,
@@ -117,6 +123,25 @@ Controller::QueryOutcome Controller::RunQuery(const dp::Query& query) {
       checkpoints_[w].fabric_round = fabric_->CurrentRound();
       fabric_->MarkCheckpoint(w);
     }
+  }
+  return outcome;
+}
+
+Controller::MultiQueryOutcome Controller::RunQueries(
+    const std::vector<dp::Query>& queries) {
+  dp::PacketCodec gather_codec(gather_manager_.get(), options_.layout);
+  size_t lanes = options_.query_lanes;
+  if (lanes == 0) lanes = std::min<size_t>(queries.size(), 8);
+  Dpo::MultiQueryRun multi = dpo_->RunQueries(queries, gather_codec, lanes);
+  MultiQueryOutcome outcome;
+  outcome.aggregate = multi.aggregate;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryOutcome one;
+    one.metrics = multi.runs[q].metrics;
+    one.gather_bytes = multi.runs[q].gather_bytes;
+    one.result = dp::EvaluateQuery(queries[q], gather_codec,
+                                   multi.runs[q].finals, network_);
+    outcome.outcomes.push_back(std::move(one));
   }
   return outcome;
 }

@@ -31,6 +31,12 @@ struct ControllerOptions {
   CostModelParams cost;
   // Thread pool size; 0 = min(num_workers, hardware concurrency).
   size_t pool_threads = 0;
+  // Intra-worker data-plane lanes (dp/parallel.h); 1 keeps the sequential
+  // per-worker engine.
+  uint32_t dp_lanes = 1;
+  // Query-level parallelism for RunQueries: how many queries the modeled
+  // schedule may run concurrently (0 = one per query, capped at 8).
+  size_t query_lanes = 0;
 
   // Fault injection (src/fault): when set, the fabric runs the reliable-
   // delivery envelope perturbed by this plan, workers are checkpointed at
@@ -64,6 +70,15 @@ class Controller {
     size_t forwarding_steps = 0;
   };
   QueryOutcome RunQuery(const dp::Query& query);
+
+  // Runs independent queries concurrently (Dpo::RunQueries): per-query
+  // rebuilt worker domains, finals gathered and evaluated in input order.
+  // `aggregate.modeled_seconds` is the LPT makespan over query_lanes.
+  struct MultiQueryOutcome {
+    std::vector<QueryOutcome> outcomes;  // per query, in input order
+    RoundMetrics aggregate;
+  };
+  MultiQueryOutcome RunQueries(const std::vector<dp::Query>& queries);
 
   // ------------------------------------------------------------- metrics
   // Highest per-worker peak memory (the paper's "per-worker peak memory").

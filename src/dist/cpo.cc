@@ -13,6 +13,9 @@ void RoundMetrics::Add(const RoundMetrics& other) {
   modeled_seconds += other.modeled_seconds;
   comm_bytes += other.comm_bytes;
   comm_messages += other.comm_messages;
+  bdd_cache_hits += other.bdd_cache_hits;
+  bdd_cache_misses += other.bdd_cache_misses;
+  bdd_cache_evictions += other.bdd_cache_evictions;
 }
 
 Cpo::Cpo(std::vector<std::unique_ptr<Worker>>* workers,

@@ -1,15 +1,48 @@
 #include "dist/dpo.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "bdd/bdd_io.h"
+#include "fault/checkpoint.h"
 #include "util/stopwatch.h"
 
 namespace s2::dist {
 
+namespace {
+
+// Summed op-cache counters across every worker's data-plane lanes; used to
+// report per-phase deltas in RoundMetrics.
+bdd::Manager::CacheStats SumWorkerCacheStats(
+    const std::vector<std::unique_ptr<Worker>>& workers) {
+  bdd::Manager::CacheStats total;
+  for (const auto& worker : workers) {
+    bdd::Manager::CacheStats stats = worker->bdd_cache_stats();
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.evictions += stats.evictions;
+  }
+  return total;
+}
+
+void RecordCacheDelta(RoundMetrics& metrics,
+                      const bdd::Manager::CacheStats& before,
+                      const bdd::Manager::CacheStats& after) {
+  metrics.bdd_cache_hits += after.hits - before.hits;
+  metrics.bdd_cache_misses += after.misses - before.misses;
+  metrics.bdd_cache_evictions += after.evictions - before.evictions;
+}
+
+}  // namespace
+
 Dpo::Dpo(std::vector<std::unique_ptr<Worker>>* workers,
-         SidecarFabric* fabric, util::ThreadPool* pool, CostModelParams cost)
-    : workers_(workers), fabric_(fabric), pool_(pool), cost_(cost) {}
+         SidecarFabric* fabric, util::ThreadPool* pool, CostModelParams cost,
+         Worker::Options worker_options)
+    : workers_(workers),
+      fabric_(fabric),
+      pool_(pool),
+      cost_(cost),
+      worker_options_(worker_options) {}
 
 RoundMetrics Dpo::BuildDataPlanes(const cp::RibStore* store) {
   RoundMetrics metrics;
@@ -21,6 +54,8 @@ RoundMetrics Dpo::BuildDataPlanes(const cp::RibStore* store) {
     metrics.modeled_seconds =
         std::max(metrics.modeled_seconds, worker->last_phase_seconds());
   }
+  RecordCacheDelta(metrics, bdd::Manager::CacheStats{},
+                   SumWorkerCacheStats(*workers_));
   metrics.wall_seconds = wall.ElapsedSeconds();
   metrics.rounds = 1;
   return metrics;
@@ -30,6 +65,7 @@ Dpo::QueryRun Dpo::RunQuery(const dp::Query& query,
                             const dp::PacketCodec& gather_codec) {
   QueryRun run;
   util::Stopwatch wall;
+  bdd::Manager::CacheStats cache_before = SumWorkerCacheStats(*workers_);
   pool_->ParallelFor(workers_->size(), [&](size_t w) {
     (*workers_)[w]->PrepareQuery(query);
   });
@@ -38,13 +74,23 @@ Dpo::QueryRun Dpo::RunQuery(const dp::Query& query,
   std::vector<char> moved(num_workers, 0);
   for (;;) {
     size_t bytes_before = fabric_->total_bytes();
+    // Two barrier phases per round (like the CPO's rounds): packets a
+    // worker ships in phase B are only accepted in the NEXT round's phase
+    // A, so the round partitioning is schedule-independent — without the
+    // barrier, whether worker B sees worker A's frames this round or next
+    // depends on thread timing, and batching/coalescing (and therefore
+    // comm_bytes and finals fragmentation) becomes nondeterministic.
+    std::vector<char> accepted(num_workers, 0);
     pool_->ParallelFor(num_workers, [&](size_t w) {
-      moved[w] = (*workers_)[w]->ForwardRound() ? 1 : 0;
+      accepted[w] = (*workers_)[w]->AcceptPackets() ? 1 : 0;
+    });
+    pool_->ParallelFor(num_workers, [&](size_t w) {
+      moved[w] = (*workers_)[w]->ForwardAndShip() ? 1 : 0;
     });
     bool any = false;
     double busy = 0;
     for (size_t w = 0; w < num_workers; ++w) {
-      any = any || moved[w];
+      any = any || accepted[w] || moved[w];
       busy = std::max(busy, (*workers_)[w]->last_phase_seconds());
     }
     size_t bytes_after = fabric_->total_bytes();
@@ -74,8 +120,188 @@ Dpo::QueryRun Dpo::RunQuery(const dp::Query& query,
       run.finals.push_back(std::move(packet));
     }
   }
+  RecordCacheDelta(run.metrics, cache_before, SumWorkerCacheStats(*workers_));
   run.metrics.wall_seconds = wall.ElapsedSeconds();
   return run;
+}
+
+Dpo::MultiQueryRun Dpo::RunQueries(const std::vector<dp::Query>& queries,
+                                   const dp::PacketCodec& gather_codec,
+                                   size_t lanes) {
+  MultiQueryRun multi;
+  multi.runs.resize(queries.size());
+  if (queries.empty()) return multi;
+  if (lanes == 0) lanes = 1;
+  util::Stopwatch wall;
+
+  size_t num_workers = workers_->size();
+
+  // One snapshot of every worker's canonical predicate bytes, shared
+  // read-only by all query tasks (bdd_io encodes structurally, so each
+  // task can rebuild an equivalent domain in a private manager).
+  std::vector<std::map<topo::NodeId, std::vector<uint8_t>>> snapshots(
+      num_workers);
+  pool_->ParallelFor(num_workers, [&](size_t w) {
+    snapshots[w] = (*workers_)[w]->SnapshotPredicates();
+  });
+
+  struct QueryOutput {
+    std::vector<SerializedFinal> finals;  // worker-major, deterministic
+    double busy_seconds = 0;              // thread-CPU time of the task
+  };
+  std::vector<QueryOutput> outputs(queries.size());
+
+  pool_->ParallelFor(queries.size(), [&](size_t q) {
+    const dp::Query& query = queries[q];
+    RoundMetrics& metrics = multi.runs[q].metrics;
+    double cpu_start = util::ThreadCpuSeconds();
+
+    // Per-query, per-worker shared-nothing domains; node bytes are charged
+    // to the owning worker's tracker (atomic, so concurrent queries are
+    // race-free and per-worker budgets still bind).
+    std::vector<std::unique_ptr<bdd::Manager>> managers;
+    std::vector<std::unique_ptr<dp::ForwardingEngine>> engines;
+    bdd::Manager::Options manager_options;
+    manager_options.max_nodes = worker_options_.max_bdd_nodes;
+    for (size_t w = 0; w < num_workers; ++w) {
+      manager_options.tracker = &(*workers_)[w]->tracker();
+      managers.push_back(std::make_unique<bdd::Manager>(
+          worker_options_.layout.total_bits(), manager_options));
+      dp::PacketCodec codec(managers[w].get(), worker_options_.layout);
+      dp::ForwardingEngine::Options engine_options;
+      engine_options.max_hops = worker_options_.max_hops;
+      engines.push_back(
+          std::make_unique<dp::ForwardingEngine>(codec, engine_options));
+      for (const auto& [id, bytes] : snapshots[w]) {
+        engines[w]->AddNode(
+            id, fault::DeserializePredicates(*managers[w], bytes));
+      }
+    }
+
+    // PrepareQuery, per domain.
+    for (size_t w = 0; w < num_workers; ++w) {
+      engines[w]->set_record_paths(query.record_paths);
+      for (size_t i = 0; i < query.transits.size(); ++i) {
+        if (engines[w]->Owns(query.transits[i])) {
+          engines[w]->SetWaypointBit(query.transits[i],
+                                     static_cast<uint32_t>(i));
+        }
+      }
+      bdd::Bdd header_space = query.header_space.ToBdd(engines[w]->codec());
+      for (topo::NodeId src : query.sources) {
+        if (engines[w]->Owns(src)) engines[w]->Inject(src, header_space);
+      }
+    }
+
+    // The sequential fabric round loop, replayed over a query-private
+    // exchange: run every domain to quiescence, ferry the crossing packets
+    // (serialized, like the sidecars would), repeat until silent.
+    std::vector<dp::WirePacket> crossing;
+    for (;;) {
+      size_t steps_before = 0, steps_after = 0;
+      for (size_t w = 0; w < num_workers; ++w) {
+        steps_before += engines[w]->steps();
+        engines[w]->Run([&](const dp::InFlightPacket& packet) {
+          dp::WirePacket wire;
+          wire.at = packet.at;
+          wire.from = packet.from;
+          wire.src = packet.src;
+          wire.hops = packet.hops;
+          wire.path = packet.path;
+          wire.set = bdd::Serialize(packet.set);
+          crossing.push_back(std::move(wire));
+        });
+        steps_after += engines[w]->steps();
+      }
+      ++metrics.rounds;
+      if (crossing.empty()) {
+        if (steps_after == steps_before) break;
+        continue;
+      }
+      for (const dp::WirePacket& wire : crossing) {
+        metrics.comm_bytes += wire.WireBytes();
+        ++metrics.comm_messages;
+        uint32_t dest = fabric_->WorkerOf(wire.at);
+        dp::InFlightPacket packet;
+        packet.at = wire.at;
+        packet.from = wire.from;
+        packet.src = wire.src;
+        packet.hops = wire.hops;
+        packet.path = wire.path;
+        packet.set = bdd::DeserializeInto(*managers[dest], wire.set);
+        engines[dest]->Accept(std::move(packet));
+      }
+      crossing.clear();
+    }
+
+    // Finals in worker-major order — the order RunQuery gathers in.
+    for (size_t w = 0; w < num_workers; ++w) {
+      for (const dp::FinalPacket& final : engines[w]->finals()) {
+        SerializedFinal serialized;
+        serialized.src = final.src;
+        serialized.node = final.node;
+        serialized.state = final.state;
+        serialized.path = final.path;
+        serialized.set = bdd::Serialize(final.set);
+        outputs[q].finals.push_back(std::move(serialized));
+      }
+    }
+    bdd::Manager::CacheStats cache;
+    for (const auto& manager : managers) {
+      cache.hits += manager->cache_stats().hits;
+      cache.misses += manager->cache_stats().misses;
+      cache.evictions += manager->cache_stats().evictions;
+    }
+    RecordCacheDelta(metrics, bdd::Manager::CacheStats{}, cache);
+    outputs[q].busy_seconds = util::ThreadCpuSeconds() - cpu_start;
+    metrics.modeled_seconds =
+        outputs[q].busy_seconds +
+        double(metrics.comm_bytes) / cost_.bandwidth_bytes_per_sec;
+  });
+
+  // Gather sequentially: the controller's manager is shared, and (query,
+  // worker) order keeps the result deterministic.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryRun& run = multi.runs[q];
+    for (SerializedFinal& final : outputs[q].finals) {
+      run.gather_bytes += final.WireBytes();
+      dp::FinalPacket packet;
+      packet.src = final.src;
+      packet.node = final.node;
+      packet.state = final.state;
+      packet.path = std::move(final.path);
+      packet.set = bdd::DeserializeInto(*gather_codec.manager(), final.set);
+      run.finals.push_back(std::move(packet));
+    }
+    multi.aggregate.rounds =
+        std::max(multi.aggregate.rounds, run.metrics.rounds);
+    multi.aggregate.comm_bytes += run.metrics.comm_bytes;
+    multi.aggregate.comm_messages += run.metrics.comm_messages;
+    multi.aggregate.bdd_cache_hits += run.metrics.bdd_cache_hits;
+    multi.aggregate.bdd_cache_misses += run.metrics.bdd_cache_misses;
+    multi.aggregate.bdd_cache_evictions += run.metrics.bdd_cache_evictions;
+  }
+
+  // Modeled parallel time: LPT makespan of per-query busy over `lanes`
+  // slots (queries are independent; a real L-thread box would greedily
+  // pack them).
+  std::vector<double> busy;
+  busy.reserve(queries.size());
+  for (const QueryOutput& output : outputs) {
+    busy.push_back(output.busy_seconds);
+  }
+  std::sort(busy.begin(), busy.end(), std::greater<double>());
+  std::vector<double> slots(std::min(lanes, busy.size()), 0.0);
+  if (slots.empty()) slots.push_back(0.0);
+  for (double b : busy) {
+    *std::min_element(slots.begin(), slots.end()) += b;
+  }
+  multi.aggregate.modeled_seconds =
+      *std::max_element(slots.begin(), slots.end()) +
+      double(multi.aggregate.comm_bytes) / double(num_workers) /
+          cost_.bandwidth_bytes_per_sec;
+  multi.aggregate.wall_seconds = wall.ElapsedSeconds();
+  return multi;
 }
 
 }  // namespace s2::dist

@@ -17,7 +17,8 @@ namespace s2::dist {
 class Dpo {
  public:
   Dpo(std::vector<std::unique_ptr<Worker>>* workers, SidecarFabric* fabric,
-      util::ThreadPool* pool, CostModelParams cost);
+      util::ThreadPool* pool, CostModelParams cost,
+      Worker::Options worker_options = {});
 
   // Parallel FIB + predicate computation (reads spilled RIBs from `store`
   // when the CP ran sharded).
@@ -33,11 +34,30 @@ class Dpo {
   QueryRun RunQuery(const dp::Query& query,
                     const dp::PacketCodec& gather_codec);
 
+  // Query-level parallelism: independent queries run concurrently, each on
+  // a private set of per-worker BDD domains rebuilt from the workers'
+  // canonical predicate bytes (SnapshotPredicates) — managers stay
+  // shared-nothing, per-query and per-worker. Each query replicates the
+  // sequential round structure over a query-private exchange, so its
+  // finals match RunQuery's byte for byte (pinned by the differential
+  // tests). `lanes` bounds the modeled concurrency: per-query busy is
+  // measured as thread-CPU time and the aggregate's modeled_seconds is the
+  // LPT makespan of those busies over `lanes` slots (DESIGN.md §3 — this
+  // 1-core box interleaves; the model reports what an L-thread box would).
+  struct MultiQueryRun {
+    std::vector<QueryRun> runs;  // per query, in input order
+    RoundMetrics aggregate;
+  };
+  MultiQueryRun RunQueries(const std::vector<dp::Query>& queries,
+                           const dp::PacketCodec& gather_codec,
+                           size_t lanes);
+
  private:
   std::vector<std::unique_ptr<Worker>>* workers_;
   SidecarFabric* fabric_;
   util::ThreadPool* pool_;
   CostModelParams cost_;
+  Worker::Options worker_options_;
 };
 
 }  // namespace s2::dist

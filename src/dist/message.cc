@@ -1,4 +1,50 @@
 #include "dist/message.h"
 
-// Message is a plain struct; this TU exists so the target has a home for
-// future wire-format evolution (versioning, compression).
+#include <cstdlib>
+
+#include "cp/route.h"
+
+namespace s2::dist {
+
+void EncodePacketBatch(const std::vector<dp::WirePacket>& frames,
+                       std::vector<uint8_t>& payload) {
+  cp::PutWireU32(payload, static_cast<uint32_t>(frames.size()));
+  for (const dp::WirePacket& frame : frames) {
+    cp::PutWireU32(payload, frame.at);
+    cp::PutWireU32(payload, frame.from);
+    cp::PutWireU32(payload, frame.src);
+    cp::PutWireU32(payload, static_cast<uint32_t>(frame.hops));
+    cp::PutWireU32(payload, static_cast<uint32_t>(frame.path.size()));
+    for (topo::NodeId node : frame.path) cp::PutWireU32(payload, node);
+    cp::PutWireU32(payload, static_cast<uint32_t>(frame.set.size()));
+    payload.insert(payload.end(), frame.set.begin(), frame.set.end());
+  }
+}
+
+std::vector<dp::WirePacket> DecodePacketBatch(
+    const std::vector<uint8_t>& payload) {
+  std::vector<dp::WirePacket> frames;
+  size_t pos = 0;
+  uint32_t count = cp::GetWireU32(payload, pos);
+  frames.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    dp::WirePacket frame;
+    frame.at = cp::GetWireU32(payload, pos);
+    frame.from = cp::GetWireU32(payload, pos);
+    frame.src = cp::GetWireU32(payload, pos);
+    frame.hops = static_cast<int>(cp::GetWireU32(payload, pos));
+    uint32_t path_len = cp::GetWireU32(payload, pos);
+    frame.path.reserve(path_len);
+    for (uint32_t p = 0; p < path_len; ++p) {
+      frame.path.push_back(cp::GetWireU32(payload, pos));
+    }
+    uint32_t set_len = cp::GetWireU32(payload, pos);
+    if (pos + set_len > payload.size()) std::abort();  // malformed batch
+    frame.set.assign(payload.begin() + pos, payload.begin() + pos + set_len);
+    pos += set_len;
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace s2::dist

@@ -11,11 +11,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "dp/parallel.h"
 #include "topo/graph.h"
 
 namespace s2::dist {
 
-enum class MessageType : uint8_t { kRouteUpdates, kSymbolicPacket };
+// kPacketBatch carries many symbolic-packet frames in one payload: the
+// parallel data plane emits packets per hop level, so a worker typically
+// has several frames for the same destination worker per round — batching
+// them amortizes the per-message envelope (paper §3.2, sidecars stream
+// packet pages, not single packets). kSymbolicPacket remains for
+// single-packet sends.
+enum class MessageType : uint8_t {
+  kRouteUpdates,
+  kSymbolicPacket,
+  kPacketBatch,
+};
 
 struct Message {
   MessageType type = MessageType::kRouteUpdates;
@@ -33,5 +44,13 @@ struct Message {
     return 24 + payload.size() + 4 * packet_path.size();
   }
 };
+
+// Packet-batch payload codec. Every frame in a batch must target nodes of
+// the same worker (the fabric routes the whole message by
+// WorkerOf(to_node), which callers set to the first frame's destination).
+void EncodePacketBatch(const std::vector<dp::WirePacket>& frames,
+                       std::vector<uint8_t>& payload);
+std::vector<dp::WirePacket> DecodePacketBatch(
+    const std::vector<uint8_t>& payload);
 
 }  // namespace s2::dist

@@ -120,18 +120,19 @@ void Worker::RetainBgp() {
 
 // ------------------------------------------------------------- data plane
 
+dp::ParallelForwarding::Options Worker::DataPlaneOptions() {
+  dp::ParallelForwarding::Options dp_options;
+  dp_options.lanes = options_.dp_lanes;
+  dp_options.max_hops = options_.max_hops;
+  dp_options.layout = options_.layout;
+  dp_options.manager.max_nodes = options_.max_bdd_nodes;
+  dp_options.manager.tracker = &tracker_;
+  return dp_options;
+}
+
 void Worker::BuildDataPlane(const cp::RibStore* store) {
   util::Stopwatch watch;
-  bdd::Manager::Options bdd_options;
-  bdd_options.max_nodes = options_.max_bdd_nodes;
-  bdd_options.tracker = &tracker_;
-  manager_ = std::make_unique<bdd::Manager>(options_.layout.total_bits(),
-                                            bdd_options);
-  dp::PacketCodec codec(manager_.get(), options_.layout);
-  dp::ForwardingEngine::Options engine_options;
-  engine_options.max_hops = options_.max_hops;
-  engine_ =
-      std::make_unique<dp::ForwardingEngine>(codec, engine_options);
+  dp_ = std::make_unique<dp::ParallelForwarding>(DataPlaneOptions());
   for (topo::NodeId id : local_) {
     const cp::Node& node = *nodes_.at(id);
     std::map<util::Ipv4Prefix, std::vector<cp::Route>> from_store;
@@ -143,75 +144,103 @@ void Worker::BuildDataPlane(const cp::RibStore* store) {
     dp::Fib fib = dp::Fib::Build(*network_, id, *bgp, node.ospf_routes(),
                                  &tracker_);
     fib_bytes_ += fib.EstimateBytes();
-    engine_->AddNode(id, dp::BuildPredicates(*network_, id, fib, codec));
+    // Predicates are built in the owning lane's manager.
+    const dp::PacketCodec& codec = dp_->BeginNode(id);
+    dp_->AddNode(id, dp::BuildPredicates(*network_, id, fib, codec));
   }
   predicate_seconds_ += watch.ElapsedSeconds();
   last_phase_seconds_ = watch.ElapsedSeconds();
 }
 
 void Worker::PrepareQuery(const dp::Query& query) {
-  engine_->ResetQueryState();
-  engine_->set_record_paths(query.record_paths);
+  dp_->ResetQueryState();
+  dp_->set_record_paths(query.record_paths);
   for (size_t i = 0; i < query.transits.size(); ++i) {
     if (IsLocal(query.transits[i])) {
-      engine_->SetWaypointBit(query.transits[i],
-                              static_cast<uint32_t>(i));
+      dp_->SetWaypointBit(query.transits[i], static_cast<uint32_t>(i));
     }
   }
-  bdd::Bdd header_space = query.header_space.ToBdd(engine_->codec());
   for (topo::NodeId src : query.sources) {
-    if (IsLocal(src)) engine_->Inject(src, header_space);
+    if (IsLocal(src)) dp_->Inject(src, query.header_space);
   }
 }
 
-bool Worker::ForwardRound() {
+bool Worker::AcceptPackets() {
   util::Stopwatch watch;
   bool any = false;
   for (Message& message : fabric_->Drain(index_)) {
-    dp::InFlightPacket packet;
-    packet.at = message.to_node;
-    packet.from = message.from_node;
-    packet.src = message.packet_src;
-    packet.hops = message.packet_hops;
-    packet.path = std::move(message.packet_path);
-    packet.set = bdd::DeserializeInto(*manager_, message.payload);
-    engine_->Accept(std::move(packet));
+    if (message.type == MessageType::kPacketBatch) {
+      for (dp::WirePacket& frame : DecodePacketBatch(message.payload)) {
+        dp_->Accept(frame);
+        any = true;
+      }
+      continue;
+    }
+    if (message.type != MessageType::kSymbolicPacket) continue;
+    dp::WirePacket frame;
+    frame.at = message.to_node;
+    frame.from = message.from_node;
+    frame.src = message.packet_src;
+    frame.hops = message.packet_hops;
+    frame.path = std::move(message.packet_path);
+    frame.set = std::move(message.payload);
+    dp_->Accept(frame);
     any = true;
   }
-  size_t steps_before = engine_->steps();
-  engine_->Run([this](const dp::InFlightPacket& packet) {
-    Message message;
-    message.type = MessageType::kSymbolicPacket;
-    message.to_node = packet.at;
-    message.from_node = packet.from;
-    message.packet_src = packet.src;
-    message.packet_hops = packet.hops;
-    message.packet_path = packet.path;
-    message.payload = bdd::Serialize(packet.set);
-    fabric_->Send(index_, std::move(message));
-  });
   last_phase_seconds_ = watch.ElapsedSeconds();
-  return any || engine_->steps() != steps_before;
+  return any;
+}
+
+bool Worker::ForwardAndShip() {
+  util::Stopwatch watch;
+  size_t steps_before = dp_->steps();
+  // Buffer emissions per destination worker; one kPacketBatch per
+  // destination amortizes the message envelope, and sending after the run
+  // (in ascending destination order) keeps the fabric order deterministic
+  // regardless of the lane schedule.
+  std::map<uint32_t, std::vector<dp::WirePacket>> outgoing;
+  dp_->Run(options_.pool, [&](const dp::WirePacket& frame) {
+    outgoing[fabric_->WorkerOf(frame.at)].push_back(frame);
+  });
+  for (auto& [dest, frames] : outgoing) {
+    Message message;
+    message.type = MessageType::kPacketBatch;
+    message.to_node = frames.front().at;
+    message.from_node = frames.front().from;
+    EncodePacketBatch(frames, message.payload);
+    fabric_->Send(index_, std::move(message));
+  }
+  last_phase_seconds_ += watch.ElapsedSeconds();
+  return dp_->steps() != steps_before;
 }
 
 std::vector<SerializedFinal> Worker::TakeFinals() {
   std::vector<SerializedFinal> out;
-  out.reserve(engine_->finals().size());
-  for (const dp::FinalPacket& final : engine_->finals()) {
-    SerializedFinal serialized;
-    serialized.src = final.src;
-    serialized.node = final.node;
-    serialized.state = final.state;
-    serialized.path = final.path;
-    serialized.set = bdd::Serialize(final.set);
-    out.push_back(std::move(serialized));
+  for (size_t lane = 0; lane < dp_->lanes(); ++lane) {
+    for (const dp::FinalPacket& final : dp_->lane_engine(lane).finals()) {
+      SerializedFinal serialized;
+      serialized.src = final.src;
+      serialized.node = final.node;
+      serialized.state = final.state;
+      serialized.path = final.path;
+      serialized.set = bdd::Serialize(final.set);
+      out.push_back(std::move(serialized));
+    }
   }
   return out;
 }
 
+std::map<topo::NodeId, std::vector<uint8_t>> Worker::SnapshotPredicates()
+    const {
+  std::map<topo::NodeId, std::vector<uint8_t>> snapshot;
+  for (topo::NodeId id : local_) {
+    snapshot[id] = fault::SerializePredicates(dp_->node_predicates(id));
+  }
+  return snapshot;
+}
+
 void Worker::ResetDataPlane() {
-  engine_.reset();
-  manager_.reset();
+  dp_.reset();
   if (fib_bytes_ > 0) {
     tracker_.Release(fib_bytes_);
     fib_bytes_ = 0;
@@ -235,7 +264,7 @@ void Worker::CheckpointDataPlane(fault::WorkerCheckpoint& checkpoint) const {
   checkpoint.predicate_state.clear();
   for (topo::NodeId id : local_) {
     checkpoint.predicate_state[id] =
-        fault::SerializePredicates(engine_->node_predicates(id));
+        fault::SerializePredicates(dp_->node_predicates(id));
   }
 }
 
@@ -261,18 +290,13 @@ void Worker::ReplayDelivered(int from_round, int to_round,
 
 void Worker::RestoreDataPlane(const fault::WorkerCheckpoint& checkpoint) {
   util::Stopwatch watch;
-  bdd::Manager::Options bdd_options;
-  bdd_options.max_nodes = options_.max_bdd_nodes;
-  bdd_options.tracker = &tracker_;
-  manager_ = std::make_unique<bdd::Manager>(options_.layout.total_bits(),
-                                            bdd_options);
-  dp::PacketCodec codec(manager_.get(), options_.layout);
-  dp::ForwardingEngine::Options engine_options;
-  engine_options.max_hops = options_.max_hops;
-  engine_ = std::make_unique<dp::ForwardingEngine>(codec, engine_options);
+  dp_ = std::make_unique<dp::ParallelForwarding>(DataPlaneOptions());
+  // local_ is rebuilt in the same order by the constructor, so BeginNode
+  // reproduces the pre-crash lane assignment exactly.
   for (topo::NodeId id : local_) {
-    engine_->AddNode(id, fault::DeserializePredicates(
-                             *manager_, checkpoint.predicate_state.at(id)));
+    const dp::PacketCodec& codec = dp_->BeginNode(id);
+    dp_->AddNode(id, fault::DeserializePredicates(
+                         *codec.manager(), checkpoint.predicate_state.at(id)));
   }
   fib_bytes_ = checkpoint.fib_bytes;
   tracker_.Charge(fib_bytes_);

@@ -6,9 +6,13 @@
 // cross-worker traffic flowing through the sidecar fabric as serialized
 // bytes.
 //
-// Data plane: a private BDD manager and ForwardingEngine; symbolic packets
-// crossing workers are serialized with bdd_io and re-encoded on arrival
-// (§4.3, option 2: per-worker node tables).
+// Data plane: a private lane-parallel forwarding domain (dp/parallel.h).
+// With dp_lanes == 1 it degenerates to the classic single manager +
+// ForwardingEngine; with more lanes the worker's nodes are sub-partitioned
+// across shared-nothing BDD domains drained in hop-level lockstep.
+// Symbolic packets crossing workers are serialized with bdd_io and
+// re-encoded on arrival (§4.3, option 2: per-worker node tables), batched
+// per destination worker into kPacketBatch frames.
 //
 // Every byte of control- and data-plane state a worker holds is charged to
 // its own MemoryTracker, whose budget makes per-worker OOM observable.
@@ -21,9 +25,11 @@
 #include "dist/shadow.h"
 #include "dist/sidecar.h"
 #include "dp/forwarding.h"
+#include "dp/parallel.h"
 #include "dp/properties.h"
 #include "fault/checkpoint.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace s2::dist {
 
@@ -45,6 +51,12 @@ class Worker {
     size_t max_bdd_nodes = 0;   // 0 = unbounded node table
     dp::HeaderLayout layout;
     int max_hops = 24;
+    // Intra-worker data-plane lanes (dp/parallel.h); 1 = the sequential
+    // engine, bit-identical to the pre-lane behavior.
+    uint32_t dp_lanes = 1;
+    // Pool the lanes run on (shared with the DPO's worker fan-out — the
+    // pool's ParallelFor is re-entrant). Null runs lanes sequentially.
+    util::ThreadPool* pool = nullptr;
   };
 
   Worker(uint32_t index, const config::ParsedNetwork& network,
@@ -83,13 +95,23 @@ class Worker {
   // sources. Clears any previous query's runtime state.
   void PrepareQuery(const dp::Query& query);
 
-  // One forwarding round: accept serialized packets from the sidecar, run
-  // the local engine to quiescence, emit cross-worker packets. Returns
-  // true if anything was processed.
-  bool ForwardRound();
+  // One forwarding round, split in two barrier phases (mirroring the
+  // CPO's ComputeAndShip/Deliver split): first every worker accepts the
+  // serialized packets its sidecar holds, then every worker runs its local
+  // engine to quiescence and ships cross-worker batches. The barrier
+  // between the phases is what keeps the round partitioning — and with it
+  // batching, coalescing, and finals fragmentation — independent of the
+  // thread schedule. Each returns true if anything was processed/moved.
+  bool AcceptPackets();
+  bool ForwardAndShip();
 
-  // Drains final packets, serialized for the controller.
+  // Drains final packets, serialized for the controller (lane-major order;
+  // deterministic for a fixed dp_lanes).
   std::vector<SerializedFinal> TakeFinals();
+
+  // Canonical predicate bytes of every local node (the FIB fingerprint;
+  // also what Dpo::RunQueries rebuilds per-query domains from).
+  std::map<topo::NodeId, std::vector<uint8_t>> SnapshotPredicates() const;
 
   // Frees data-plane state (between experiments).
   void ResetDataPlane();
@@ -126,14 +148,17 @@ class Worker {
   double last_phase_seconds() const { return last_phase_seconds_; }
   // Cumulative predicate-computation time (Fig 10's first phase).
   double predicate_seconds() const { return predicate_seconds_; }
-  size_t forwarding_steps() const {
-    return engine_ ? engine_->steps() : 0;
+  size_t forwarding_steps() const { return dp_ ? dp_->steps() : 0; }
+  // Summed BDD op-cache counters across the data-plane lanes.
+  bdd::Manager::CacheStats bdd_cache_stats() const {
+    return dp_ ? dp_->cache_stats() : bdd::Manager::CacheStats{};
   }
   const cp::Node& node(topo::NodeId id) const { return *nodes_.at(id); }
 
  private:
   bool ComputeAndShipImpl(bool suppress_remote);
   void DeliverBatch(std::vector<Message> messages);
+  dp::ParallelForwarding::Options DataPlaneOptions();
 
   uint32_t index_;
   const config::ParsedNetwork* network_;
@@ -149,8 +174,7 @@ class Worker {
            std::vector<cp::RouteUpdate>>
       local_pending_;
 
-  std::unique_ptr<bdd::Manager> manager_;
-  std::unique_ptr<dp::ForwardingEngine> engine_;
+  std::unique_ptr<dp::ParallelForwarding> dp_;
   size_t fib_bytes_ = 0;
 
   double last_phase_seconds_ = 0;

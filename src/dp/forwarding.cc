@@ -1,5 +1,6 @@
 #include "dp/forwarding.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace s2::dp {
@@ -67,32 +68,43 @@ void ForwardingEngine::Enqueue(const InFlightPacket& packet) {
   }
 }
 
-void ForwardingEngine::Run(const RemoteEmit& emit) {
-  // Ascending hop levels: every copy that can merge has merged before its
-  // level is processed (forwarding only moves packets to higher levels).
-  while (!queue_.empty() || !path_queue_.empty()) {
-    if (!path_queue_.empty()) {
-      auto level_it = path_queue_.begin();
-      std::vector<InFlightPacket> level = std::move(level_it->second);
-      path_queue_.erase(level_it);
-      for (InFlightPacket& packet : level) {
-        Process(std::move(packet), emit);
-      }
-      continue;
+int ForwardingEngine::NextLevel() const {
+  int next = kIdle;
+  if (!path_queue_.empty()) next = std::min(next, path_queue_.begin()->first);
+  if (!queue_.empty()) next = std::min(next, queue_.begin()->first);
+  return next;
+}
+
+void ForwardingEngine::DrainLevel(int level, const RemoteEmit& emit) {
+  auto path_it = path_queue_.find(level);
+  if (path_it != path_queue_.end()) {
+    std::vector<InFlightPacket> pending = std::move(path_it->second);
+    path_queue_.erase(path_it);
+    for (InFlightPacket& packet : pending) {
+      Process(std::move(packet), emit);
     }
-    auto level_it = queue_.begin();
-    int hops = level_it->first;
-    std::map<QueueKey, bdd::Bdd> level = std::move(level_it->second);
+  }
+  auto level_it = queue_.find(level);
+  if (level_it != queue_.end()) {
+    std::map<QueueKey, bdd::Bdd> pending = std::move(level_it->second);
     queue_.erase(level_it);
-    for (auto& [key, set] : level) {
+    for (auto& [key, set] : pending) {
       InFlightPacket packet;
       packet.at = std::get<0>(key);
       packet.from = std::get<1>(key);
       packet.src = std::get<2>(key);
-      packet.hops = hops;
+      packet.hops = level;
       packet.set = std::move(set);
       Process(std::move(packet), emit);
     }
+  }
+}
+
+void ForwardingEngine::Run(const RemoteEmit& emit) {
+  // Ascending hop levels: every copy that can merge has merged before its
+  // level is processed (forwarding only moves packets to higher levels).
+  for (int level = NextLevel(); level != kIdle; level = NextLevel()) {
+    DrainLevel(level, emit);
   }
 }
 

@@ -21,6 +21,7 @@
 // effects are shared.
 #pragma once
 
+#include <climits>
 #include <functional>
 #include <map>
 #include <tuple>
@@ -91,6 +92,19 @@ class ForwardingEngine {
   // go through `emit` (must be non-null if any neighbor is remote).
   using RemoteEmit = std::function<void(const InFlightPacket&)>;
   void Run(const RemoteEmit& emit);
+
+  // Level-stepped interface used by the parallel data plane: the lowest
+  // hop level with pending packets (kIdle if the queue is empty), and a
+  // drain of exactly that level. Forwarding only moves packets to higher
+  // levels, so draining level h enqueues only at h+1 and the exact-merge
+  // invariant (all copies at a level merge before the level is processed)
+  // holds as long as callers drain levels in ascending order — which is
+  // what lets multiple lanes run DrainLevel in lockstep and exchange
+  // cross-lane packets between levels. Run() is the sequential special
+  // case.
+  static constexpr int kIdle = INT_MAX;
+  int NextLevel() const;
+  void DrainLevel(int level, const RemoteEmit& emit);
 
   const std::vector<FinalPacket>& finals() const { return finals_; }
   const PacketCodec& codec() const { return codec_; }

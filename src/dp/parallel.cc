@@ -1,0 +1,182 @@
+#include "dp/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "bdd/bdd_io.h"
+
+namespace s2::dp {
+
+ParallelForwarding::ParallelForwarding(Options options)
+    : options_(options) {
+  uint32_t count = std::max<uint32_t>(1, options_.lanes);
+  lanes_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Lane lane;
+    lane.manager = std::make_unique<bdd::Manager>(
+        options_.layout.total_bits(), options_.manager);
+    lane.codec =
+        std::make_unique<PacketCodec>(lane.manager.get(), options_.layout);
+    ForwardingEngine::Options engine_options;
+    engine_options.max_hops = options_.max_hops;
+    lane.engine =
+        std::make_unique<ForwardingEngine>(*lane.codec, engine_options);
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+const PacketCodec& ParallelForwarding::BeginNode(topo::NodeId id) {
+  auto it = lane_of_.find(id);
+  if (it == lane_of_.end()) {
+    it = lane_of_.emplace(id, next_lane_).first;
+    next_lane_ = (next_lane_ + 1) % static_cast<uint32_t>(lanes_.size());
+  }
+  return *lanes_[it->second].codec;
+}
+
+void ParallelForwarding::AddNode(topo::NodeId id, NodePredicates preds) {
+  lanes_[lane_of_.at(id)].engine->AddNode(id, std::move(preds));
+}
+
+const NodePredicates& ParallelForwarding::node_predicates(
+    topo::NodeId id) const {
+  return lanes_[lane_of_.at(id)].engine->node_predicates(id);
+}
+
+void ParallelForwarding::SetWaypointBit(topo::NodeId node,
+                                        uint32_t meta_bit) {
+  lanes_[lane_of_.at(node)].engine->SetWaypointBit(node, meta_bit);
+}
+
+void ParallelForwarding::Inject(topo::NodeId at, const HeaderSpaceSpec& spec) {
+  Lane& lane = lanes_[lane_of_.at(at)];
+  if (!lane.header_space.valid()) {
+    lane.header_space = spec.ToBdd(*lane.codec);
+  }
+  lane.engine->Inject(at, lane.header_space);
+}
+
+void ParallelForwarding::set_record_paths(bool record) {
+  for (Lane& lane : lanes_) lane.engine->set_record_paths(record);
+}
+
+void ParallelForwarding::ResetQueryState() {
+  for (Lane& lane : lanes_) {
+    lane.engine->ResetQueryState();
+    lane.header_space = bdd::Bdd();
+  }
+}
+
+WirePacket ParallelForwarding::ToWire(const InFlightPacket& packet) const {
+  WirePacket wire;
+  wire.at = packet.at;
+  wire.from = packet.from;
+  wire.src = packet.src;
+  wire.hops = packet.hops;
+  wire.path = packet.path;
+  wire.set = bdd::Serialize(packet.set);
+  return wire;
+}
+
+void ParallelForwarding::AcceptAt(size_t lane, const WirePacket& packet) {
+  InFlightPacket in;
+  in.at = packet.at;
+  in.from = packet.from;
+  in.src = packet.src;
+  in.hops = packet.hops;
+  in.path = packet.path;
+  in.set = bdd::DeserializeInto(*lanes_[lane].manager, packet.set);
+  lanes_[lane].engine->Accept(std::move(in));
+}
+
+void ParallelForwarding::Accept(const WirePacket& packet) {
+  AcceptAt(lane_of_.at(packet.at), packet);
+}
+
+void ParallelForwarding::Run(util::ThreadPool* pool,
+                             const RemoteEmit& remote) {
+  if (lanes_.size() == 1) {
+    // Sequential special case: no lockstep machinery, bit-identical to the
+    // pre-lane engine (the differential oracle's baseline).
+    ForwardingEngine::RemoteEmit emit;
+    if (remote) {
+      emit = [&](const InFlightPacket& packet) { remote(ToWire(packet)); };
+    }
+    lanes_[0].engine->Run(emit);
+    return;
+  }
+
+  size_t count = lanes_.size();
+  std::vector<std::vector<WirePacket>> outboxes(count);
+  std::vector<std::vector<WirePacket>> inboxes(count);
+  for (;;) {
+    int level = ForwardingEngine::kIdle;
+    for (Lane& lane : lanes_) {
+      level = std::min(level, lane.engine->NextLevel());
+    }
+    if (level == ForwardingEngine::kIdle) break;
+
+    // 1. Parallel drain of one hop level. Each lane only touches its own
+    // manager; emissions are serialized inside the producing task.
+    auto drain = [&](size_t i) {
+      Lane& lane = lanes_[i];
+      if (lane.engine->NextLevel() != level) return;
+      lane.engine->DrainLevel(level, [&](const InFlightPacket& packet) {
+        outboxes[i].push_back(ToWire(packet));
+      });
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(count, drain);
+    } else {
+      for (size_t i = 0; i < count; ++i) drain(i);
+    }
+
+    // 2. Sequential merge in lane order: deterministic routing of every
+    // emitted frame, including the off-worker send order.
+    for (size_t i = 0; i < count; ++i) {
+      for (WirePacket& wire : outboxes[i]) {
+        auto owner = lane_of_.find(wire.at);
+        if (owner != lane_of_.end()) {
+          inboxes[owner->second].push_back(std::move(wire));
+        } else {
+          if (!remote) std::abort();  // remote hop without a transport
+          remote(wire);
+        }
+      }
+      outboxes[i].clear();
+    }
+
+    // 3. Parallel per-lane enqueue. Every level-(h+1) copy lands before
+    // any lane processes h+1 — the exact-merge invariant.
+    auto deliver = [&](size_t i) {
+      for (const WirePacket& wire : inboxes[i]) AcceptAt(i, wire);
+      inboxes[i].clear();
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(count, deliver);
+    } else {
+      for (size_t i = 0; i < count; ++i) deliver(i);
+    }
+  }
+}
+
+size_t ParallelForwarding::steps() const {
+  size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.engine->steps();
+  return total;
+}
+
+bdd::Manager::CacheStats ParallelForwarding::cache_stats() const {
+  bdd::Manager::CacheStats total;
+  for (const Lane& lane : lanes_) {
+    const bdd::Manager::CacheStats& stats = lane.manager->cache_stats();
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.evictions += stats.evictions;
+    total.gc_kept += stats.gc_kept;
+    total.gc_dropped += stats.gc_dropped;
+  }
+  return total;
+}
+
+}  // namespace s2::dp

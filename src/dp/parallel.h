@@ -1,0 +1,124 @@
+// Intra-worker parallel symbolic forwarding (lane model).
+//
+// A worker's node set is sub-partitioned across L *lanes*, each a
+// shared-nothing (Manager, PacketCodec, ForwardingEngine) triple — the same
+// isolation S2 uses between workers (one BDD table per worker, §4.3 option
+// 2), pushed one level down. Lanes never touch each other's managers;
+// packets crossing lanes travel as canonical bdd_io bytes, exactly like
+// packets crossing workers.
+//
+// Execution is level-lockstep, which is what preserves the exact-merge
+// invariant of forwarding.h under parallelism:
+//
+//   while any lane has pending packets:
+//     h  <- min over lanes of NextLevel()
+//     1. every lane with work at h drains level h in parallel; emissions
+//        (always at level h+1) are serialized into a lane-private outbox
+//     2. outboxes are merged sequentially in lane order: cross-lane frames
+//        go to the owning lane's inbox, off-worker frames to the remote
+//        callback (so the cross-worker send order is deterministic)
+//     3. lanes deserialize and enqueue their inboxes in parallel
+//
+// Every copy of a packet that can reach level h+1 — locally forwarded or
+// cross-lane — is enqueued (and therefore coalesced by the engine's
+// QueueKey map) before any lane processes level h+1, so the merge is as
+// exact as the sequential engine's. With lanes == 1 the engine runs its
+// plain sequential Run() and is bit-identical to the seed behavior; the
+// differential-oracle tests pin lanes > 1 against that oracle.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dp/forwarding.h"
+#include "util/thread_pool.h"
+
+namespace s2::dp {
+
+// A symbolic packet in manager-independent wire form; the unit that
+// crosses lane and worker boundaries.
+struct WirePacket {
+  topo::NodeId at = topo::kInvalidNode;
+  topo::NodeId from = topo::kInvalidNode;
+  topo::NodeId src = topo::kInvalidNode;
+  int hops = 0;
+  std::vector<topo::NodeId> path;  // path-recording queries only
+  std::vector<uint8_t> set;        // bdd_io canonical bytes
+
+  size_t WireBytes() const { return 16 + set.size() + 4 * path.size(); }
+};
+
+class ParallelForwarding {
+ public:
+  struct Options {
+    uint32_t lanes = 1;
+    int max_hops = 24;
+    HeaderLayout layout;
+    // Per-lane manager configuration (node-table cap, tracker, op-cache
+    // size). The tracker may be shared across lanes: MemoryTracker is
+    // atomic, so concurrent lane charges are race-free.
+    bdd::Manager::Options manager;
+  };
+
+  explicit ParallelForwarding(Options options);
+
+  // ---------------------------------------------------------- registration
+  // Nodes are assigned to lanes round-robin in registration order — a
+  // deterministic rule, so a restored worker that re-registers the same
+  // nodes in the same order reproduces the same lane layout.
+  //
+  // BeginNode assigns (or looks up) the owning lane and returns its codec;
+  // the caller builds the node's predicates in that codec's manager and
+  // hands them over with AddNode.
+  const PacketCodec& BeginNode(topo::NodeId id);
+  void AddNode(topo::NodeId id, NodePredicates preds);
+
+  bool Owns(topo::NodeId id) const { return lane_of_.count(id) != 0; }
+  size_t LaneOf(topo::NodeId id) const { return lane_of_.at(id); }
+  const NodePredicates& node_predicates(topo::NodeId id) const;
+
+  // ------------------------------------------------------------ per query
+  void SetWaypointBit(topo::NodeId node, uint32_t meta_bit);
+  void Inject(topo::NodeId at, const HeaderSpaceSpec& spec);
+  void set_record_paths(bool record);
+  void ResetQueryState();
+
+  // Enqueues a packet arriving from another worker.
+  void Accept(const WirePacket& packet);
+
+  // Drains all lanes to quiescence. Off-worker packets go through `remote`
+  // in deterministic (lane-major) order. `pool` may be null — lanes then
+  // run sequentially with identical results; the pool only changes the
+  // schedule, never the outcome.
+  using RemoteEmit = std::function<void(const WirePacket&)>;
+  void Run(util::ThreadPool* pool, const RemoteEmit& remote);
+
+  // ------------------------------------------------------------- plumbing
+  size_t lanes() const { return lanes_.size(); }
+  const ForwardingEngine& lane_engine(size_t lane) const {
+    return *lanes_[lane].engine;
+  }
+  // Total forwarding steps across lanes.
+  size_t steps() const;
+  // Summed op-cache behavior across the lanes' managers.
+  bdd::Manager::CacheStats cache_stats() const;
+
+ private:
+  struct Lane {
+    std::unique_ptr<bdd::Manager> manager;
+    std::unique_ptr<PacketCodec> codec;
+    std::unique_ptr<ForwardingEngine> engine;
+    bdd::Bdd header_space;  // per-query cached injection set
+  };
+
+  WirePacket ToWire(const InFlightPacket& packet) const;
+  void AcceptAt(size_t lane, const WirePacket& packet);
+
+  Options options_;
+  std::vector<Lane> lanes_;
+  std::unordered_map<topo::NodeId, uint32_t> lane_of_;
+  uint32_t next_lane_ = 0;
+};
+
+}  // namespace s2::dp

@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
 #include <exception>
+#include <memory>
 
 namespace s2::util {
 
@@ -34,18 +37,61 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& task) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    futures.push_back(Submit([&task, i] { task(i); }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  if (count == 0) return;
+
+  // Shared between the caller and any helper tasks. Helpers hold the state
+  // via shared_ptr so a helper that starts after the caller has already
+  // finished (because the caller claimed every iteration itself) touches
+  // only valid memory.
+  struct State {
+    const std::function<void(size_t)>* task;
+    size_t count;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr first_error;
+
+    void RunLoop() {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          (*task)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+          std::lock_guard<std::mutex> lock(mutex);
+          cv.notify_all();
+        }
+      }
     }
+  };
+  auto state = std::make_shared<State>();
+  state->task = &task;
+  state->count = count;
+
+  // Enlist at most pool-size helpers; the caller is the (n+1)-th runner.
+  size_t helpers = std::min(count > 0 ? count - 1 : 0, threads_.size());
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state] { state->RunLoop(); });
+  }
+  state->RunLoop();
+
+  std::exception_ptr first_error;
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == count;
+    });
+    // Take sole ownership of the exception before rethrowing: helpers may
+    // destroy their shared State reference after the caller has returned,
+    // and the exception object must not be co-owned by that late release
+    // while the caller's catch block is still reading it.
+    first_error = std::move(state->first_error);
+    state->first_error = nullptr;
   }
   if (first_error) std::rethrow_exception(first_error);
 }

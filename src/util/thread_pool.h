@@ -32,6 +32,14 @@ class ThreadPool {
   // Runs `task(i)` for i in [0, count) across the pool and blocks until
   // every iteration has finished. Exceptions from tasks are rethrown
   // (the first one observed).
+  //
+  // Re-entrant: the calling thread participates in the loop (iterations are
+  // claimed from a shared atomic cursor), so nesting a ParallelFor inside a
+  // ParallelFor task on the same pool cannot deadlock — the inner call makes
+  // progress on the caller's own thread even when every pool thread is
+  // blocked in an outer iteration. dist/ relies on this: DPO fans out over
+  // workers on the pool, and each worker's data plane fans out again over
+  // its lanes/queries on the same pool.
   void ParallelFor(size_t count, const std::function<void(size_t)>& task);
 
   size_t size() const { return threads_.size(); }

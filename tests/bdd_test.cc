@@ -302,5 +302,160 @@ TEST_P(RandomExpressionTest, MatchesTruthTable) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomExpressionTest,
                          ::testing::Range<uint64_t>(0, 20));
 
+// ------------------------------------------------------------ op caches
+// The generational fixed-size bin/ITE caches: hit/miss/eviction counters,
+// GC purge semantics (entries over live nodes survive, entries over freed
+// slots are dropped), and randomized equivalence under forced eviction and
+// mid-operation GC schedules.
+
+TEST(OpCacheTest, RepeatedOperationsHitTheCache) {
+  Manager m(8);
+  Bdd a = m.Var(0), b = m.Var(1);
+  Bdd f = a & b;
+  EXPECT_GT(m.cache_stats().misses, 0u);  // first computation missed
+  size_t misses = m.cache_stats().misses;
+  size_t hits = m.cache_stats().hits;
+  Bdd g = a & b;  // same operands, same op: served from the cache
+  EXPECT_EQ(f, g);
+  EXPECT_GT(m.cache_stats().hits, hits);
+  EXPECT_EQ(m.cache_stats().misses, misses);
+}
+
+TEST(OpCacheTest, GenerationAdvancesPerGc) {
+  Manager m(4);
+  uint32_t before = m.generation();
+  m.GarbageCollect();
+  EXPECT_EQ(m.generation(), before + 1);
+}
+
+TEST(OpCacheTest, GcKeepsEntriesOverLiveNodes) {
+  Manager m(8);
+  Bdd a = m.Var(0), b = m.Var(1);
+  Bdd f = a & b;       // caches (a, b, and) -> f
+  m.GarbageCollect();  // every referenced node is live: entry survives
+  EXPECT_GT(m.cache_stats().gc_kept, 0u);
+  size_t hits = m.cache_stats().hits;
+  EXPECT_EQ(a & b, f);  // still served from the preserved entry
+  EXPECT_GT(m.cache_stats().hits, hits);
+}
+
+TEST(OpCacheTest, GcDropsEntriesOverFreedSlots) {
+  Manager m(8);
+  {
+    Bdd junk = m.Var(0) & m.Var(1) & m.Var(2);
+  }
+  m.GarbageCollect();  // the conjunction nodes died with the handle
+  EXPECT_GT(m.cache_stats().gc_dropped, 0u);
+  // A dropped entry must recompute — and the result is still correct.
+  EXPECT_EQ(m.Restrict(m.Var(0) & m.Var(1), 0, true), m.Var(1));
+}
+
+std::unique_ptr<Expr> Leaf(uint32_t var) {
+  auto e = std::make_unique<Expr>();
+  e->kind = 4;
+  e->var = var;
+  return e;
+}
+
+std::unique_ptr<Expr> Combine(int kind, std::unique_ptr<Expr> lhs,
+                              std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+// A random expression XOR-ed with the parity of all variables — parity has
+// no small BDD, so the formula is guaranteed substantial regardless of how
+// quickly RandomExpr bottomed out (the cache-pressure and GC-schedule
+// assertions below need a formula whose restricts actually do work).
+std::unique_ptr<Expr> RandomDeepExpr(util::Rng& rng, uint32_t num_vars) {
+  std::unique_ptr<Expr> parity = Leaf(0);
+  for (uint32_t v = 1; v < num_vars; ++v) {
+    parity = Combine(2, std::move(parity), Leaf(v));
+  }
+  return Combine(2, RandomExpr(rng, 5, num_vars), std::move(parity));
+}
+
+// Forced eviction: a 16-entry cache under an 8-variable random formula
+// churns constantly, yet every operation must stay truth-table exact —
+// evicting can only cost recomputation, never correctness.
+class RandomCachePressureTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomCachePressureTest, TinyCacheMatchesTruthTable) {
+  constexpr uint32_t kVars = 8;
+  util::Rng rng(GetParam());
+  Manager::Options options;
+  options.op_cache_entries = 16;
+  Manager m(kVars, options);
+  auto expr = RandomDeepExpr(rng, kVars);
+  Bdd f = ToBdd(*expr, m);
+  for (uint32_t assignment = 0; assignment < (1u << kVars); ++assignment) {
+    Bdd g = f;
+    for (uint32_t v = 0; v < kVars; ++v) {
+      g = m.Restrict(g, v, (assignment >> v) & 1);
+    }
+    ASSERT_TRUE(g.IsOne() || g.IsZero());
+    EXPECT_EQ(g.IsOne(), Eval(*expr, assignment))
+        << "assignment " << assignment;
+  }
+  EXPECT_GT(m.cache_stats().evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCachePressureTest,
+                         ::testing::Range<uint64_t>(100, 110));
+
+// Builds the expression with GarbageCollect() interleaved into the
+// recursion — a hostile GC schedule firing while operand handles are live
+// on the construction stack.
+Bdd ToBddWithGc(const Expr& e, Manager& m, int& countdown) {
+  if (--countdown <= 0) {
+    m.GarbageCollect();
+    countdown = 3;
+  }
+  switch (e.kind) {
+    case 0:
+      return ToBddWithGc(*e.lhs, m, countdown) &
+             ToBddWithGc(*e.rhs, m, countdown);
+    case 1:
+      return ToBddWithGc(*e.lhs, m, countdown) |
+             ToBddWithGc(*e.rhs, m, countdown);
+    case 2:
+      return ToBddWithGc(*e.lhs, m, countdown) ^
+             ToBddWithGc(*e.rhs, m, countdown);
+    case 3:
+      return !ToBddWithGc(*e.lhs, m, countdown);
+    default:
+      return m.Var(e.var);
+  }
+}
+
+class RandomGcScheduleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGcScheduleTest, MidOperationGcMatchesTruthTable) {
+  constexpr uint32_t kVars = 8;
+  util::Rng rng(GetParam());
+  Manager m(kVars);
+  auto expr = RandomDeepExpr(rng, kVars);
+  int countdown = 2 + static_cast<int>(rng.Below(4));
+  Bdd f = ToBddWithGc(*expr, m, countdown);
+  EXPECT_GT(m.generation(), 1u);  // the schedule actually fired
+  for (uint32_t assignment = 0; assignment < (1u << kVars); ++assignment) {
+    Bdd g = f;
+    for (uint32_t v = 0; v < kVars; ++v) {
+      g = m.Restrict(g, v, (assignment >> v) & 1);
+      if (assignment % 64 == 63) m.GarbageCollect();  // mid-restrict GC too
+    }
+    ASSERT_TRUE(g.IsOne() || g.IsZero());
+    EXPECT_EQ(g.IsOne(), Eval(*expr, assignment))
+        << "assignment " << assignment;
+  }
+  EXPECT_GT(m.cache_stats().hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGcScheduleTest,
+                         ::testing::Range<uint64_t>(200, 210));
+
 }  // namespace
 }  // namespace s2::bdd

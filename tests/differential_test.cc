@@ -1,0 +1,255 @@
+// Randomized differential oracle: seeded random topologies pushed through
+// every verifier configuration — MonoVerifier (the monolithic baseline),
+// S2 at 1/2/4 workers with both sequential (dp_lanes=1) and lane-parallel
+// (dp_lanes>1) data planes, the query-parallel RunQueries path, and the
+// Bonsai compression baseline — asserting that all of them converge to
+// identical best-route RIBs, identical canonical FIB bytes (the
+// fault::SerializePredicates fingerprint), and identical query verdicts.
+//
+// This is the pin that holds the intra-worker parallel forwarding and the
+// BDD op-cache overhaul in place: any nondeterminism in lane merge order,
+// any cache entry surviving a GC with a stale result, or any divergence in
+// the per-query rebuilt domains shows up here as a byte-level mismatch.
+#include <gtest/gtest.h>
+
+#include "core/bonsai.h"
+#include "core/mono.h"
+#include "core/s2.h"
+#include "dp/fib.h"
+#include "fault/checkpoint.h"
+#include "test_networks.h"
+#include "topo/dcn.h"
+#include "topo/fattree.h"
+#include "util/rng.h"
+
+namespace s2 {
+namespace {
+
+using dist::ControllerOptions;
+
+// One random instance: a generated topology plus the seed that shaped it
+// (kept in the label so a failure names its reproduction).
+struct Instance {
+  std::string label;
+  topo::Network net;
+};
+
+std::vector<Instance> RandomFatTrees(int count, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Instance> instances;
+  for (int i = 0; i < count; ++i) {
+    topo::FatTreeParams params;
+    params.k = 4;
+    params.max_ecmp_paths = static_cast<int>(rng.Between(2, 64));
+    params.extra_prefixes_per_edge = static_cast<int>(rng.Between(0, 2));
+    params.mixed_vendors = (rng.Next() & 1) != 0;
+    instances.push_back({"fattree/seed" + std::to_string(seed) + "/i" +
+                             std::to_string(i),
+                         topo::MakeFatTree(params)});
+  }
+  return instances;
+}
+
+std::vector<Instance> RandomDcns(int count, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Instance> instances;
+  for (int i = 0; i < count; ++i) {
+    topo::DcnParams params;
+    params.small_clusters = static_cast<int>(rng.Between(1, 2));
+    params.big_clusters = 1;
+    params.tors_per_pod = static_cast<int>(rng.Between(2, 4));
+    params.cores = static_cast<int>(rng.Between(2, 4));
+    params.mixed_vendors = (rng.Next() & 1) != 0;
+    instances.push_back({"dcn/seed" + std::to_string(seed) + "/i" +
+                             std::to_string(i),
+                         topo::MakeDcn(params)});
+  }
+  return instances;
+}
+
+dp::Query AllPairQuery(const config::ParsedNetwork& net) {
+  dp::Query query;
+  query.header_space.dst = util::MustParsePrefix("10.0.0.0/8");
+  for (topo::NodeId id = 0; id < net.graph.size(); ++id) {
+    if (net.graph.node(id).role == topo::Role::kEdge) {
+      query.sources.push_back(id);
+      query.destinations.push_back(id);
+    }
+  }
+  return query;
+}
+
+// The oracle: monolithic run, plus its RIBs and the canonical FIB bytes of
+// every node (rebuilt from the converged RIBs exactly the way the worker
+// data planes build theirs).
+struct Oracle {
+  core::VerifyResult result;
+  std::vector<std::map<util::Ipv4Prefix, std::vector<cp::Route>>> ribs;
+  std::map<topo::NodeId, std::vector<uint8_t>> fib_bytes;
+};
+
+Oracle RunOracle(const config::ParsedNetwork& net, const dp::Query& query) {
+  Oracle oracle;
+  core::MonoVerifier mono{core::MonoOptions{}};
+  oracle.result = mono.Verify(net, {query});
+  util::MemoryTracker tracker("oracle-fib", 0);
+  bdd::Manager manager(dp::HeaderLayout{}.total_bits());
+  dp::PacketCodec codec(&manager, dp::HeaderLayout{});
+  for (const auto& node : mono.last_engine()->nodes()) {
+    oracle.ribs.push_back(node->bgp_routes());
+    dp::Fib fib = dp::Fib::Build(net, node->id(), node->bgp_routes(),
+                                 node->ospf_routes(), &tracker);
+    oracle.fib_bytes[node->id()] = fault::SerializePredicates(
+        dp::BuildPredicates(net, node->id(), fib, codec));
+  }
+  return oracle;
+}
+
+void ExpectSameVerdict(const dp::QueryResult& got,
+                       const dp::QueryResult& want,
+                       const std::string& label) {
+  EXPECT_EQ(got.reachable_pairs, want.reachable_pairs) << label;
+  EXPECT_EQ(got.unreachable_pairs, want.unreachable_pairs) << label;
+  EXPECT_EQ(got.loop_free, want.loop_free) << label;
+  EXPECT_EQ(got.blackhole_free, want.blackhole_free) << label;
+  EXPECT_EQ(got.loop_finals, want.loop_finals) << label;
+  EXPECT_EQ(got.blackhole_finals, want.blackhole_finals) << label;
+  EXPECT_EQ(got.multipath_violations.size(),
+            want.multipath_violations.size())
+      << label;
+}
+
+// S2 at `workers` workers / `dp_lanes` lanes must reproduce the oracle's
+// verdicts, RIBs, and FIB bytes exactly. Final *counts* (loop/blackhole
+// finals) are compared exactly only at workers == 1: a set crossing a
+// worker boundary is recorded as one final per worker-side fragment, so
+// multi-worker counts legitimately exceed the monolithic count — the
+// boolean verdicts and the pair counts must still agree bit for bit.
+void CheckS2AgainstOracle(const config::ParsedNetwork& net,
+                          const dp::Query& query, const Oracle& oracle,
+                          uint32_t workers, uint32_t dp_lanes,
+                          const std::string& label) {
+  ControllerOptions options;
+  options.num_workers = workers;
+  options.dp_lanes = dp_lanes;
+  core::S2Verifier verifier(options);
+  core::VerifyResult result = verifier.Verify(net, {query});
+  ASSERT_TRUE(result.ok()) << label << ": " << result.failure_detail;
+  ASSERT_EQ(result.queries.size(), 1u) << label;
+  const dp::QueryResult& got = result.queries[0];
+  const dp::QueryResult& want = oracle.result.queries[0];
+  if (workers == 1) {
+    ExpectSameVerdict(got, want, label);
+  } else {
+    EXPECT_EQ(got.reachable_pairs, want.reachable_pairs) << label;
+    EXPECT_EQ(got.unreachable_pairs, want.unreachable_pairs) << label;
+    EXPECT_EQ(got.loop_free, want.loop_free) << label;
+    EXPECT_EQ(got.blackhole_free, want.blackhole_free) << label;
+    EXPECT_EQ(got.loop_finals > 0, want.loop_finals > 0) << label;
+    EXPECT_EQ(got.blackhole_finals > 0, want.blackhole_finals > 0) << label;
+  }
+  EXPECT_EQ(result.total_best_routes, oracle.result.total_best_routes)
+      << label;
+
+  dist::Controller* controller = verifier.last_controller();
+  for (size_t w = 0; w < controller->num_workers(); ++w) {
+    dist::Worker& worker = controller->worker(w);
+    for (topo::NodeId id : worker.local_nodes()) {
+      EXPECT_EQ(worker.node(id).bgp_routes(), oracle.ribs[id])
+          << label << " RIB of node " << id;
+    }
+    for (const auto& [id, bytes] : worker.SnapshotPredicates()) {
+      EXPECT_EQ(bytes, oracle.fib_bytes.at(id))
+          << label << " FIB bytes of node " << id;
+    }
+  }
+}
+
+void RunDifferential(const std::vector<Instance>& instances) {
+  for (const Instance& instance : instances) {
+    config::ParsedNetwork net = testing::Parse(instance.net);
+    dp::Query query = AllPairQuery(net);
+    Oracle oracle = RunOracle(net, query);
+    ASSERT_TRUE(oracle.result.ok())
+        << instance.label << ": " << oracle.result.failure_detail;
+    // Worker counts 1/2/4; lane count varies with the worker count so both
+    // the sequential fast path (lanes=1) and the level-lockstep parallel
+    // path (lanes=2,3) are differentially pinned on every instance.
+    CheckS2AgainstOracle(net, query, oracle, 1, 1, instance.label + "/1w1l");
+    CheckS2AgainstOracle(net, query, oracle, 2, 2, instance.label + "/2w2l");
+    CheckS2AgainstOracle(net, query, oracle, 4, 3, instance.label + "/4w3l");
+  }
+}
+
+TEST(DifferentialOracleTest, RandomFatTreesAgreeAcrossEngines) {
+  RunDifferential(RandomFatTrees(5, /*seed=*/11));
+}
+
+TEST(DifferentialOracleTest, RandomDcnsAgreeAcrossEngines) {
+  RunDifferential(RandomDcns(5, /*seed=*/23));
+}
+
+// The query-parallel path (Dpo::RunQueries at query_lanes>1) must agree
+// with the classic sequential per-query fabric rounds, query by query.
+TEST(DifferentialOracleTest, ParallelQueryPathMatchesSequential) {
+  for (Instance& instance : RandomFatTrees(2, /*seed=*/37)) {
+    config::ParsedNetwork net = testing::Parse(instance.net);
+    std::vector<dp::Query> queries;
+    queries.push_back(AllPairQuery(net));
+    dp::Query single;
+    single.sources = {net.graph.FindByName("edge-0-0")};
+    single.destinations = {net.graph.FindByName("edge-1-0")};
+    single.header_space.dst = util::MustParsePrefix("10.1.0.0/24");
+    queries.push_back(single);
+
+    ControllerOptions sequential;
+    sequential.num_workers = 2;
+    core::S2Verifier seq_verifier(sequential);
+    core::VerifyResult seq = seq_verifier.Verify(net, queries);
+    ASSERT_TRUE(seq.ok()) << instance.label << ": " << seq.failure_detail;
+
+    ControllerOptions parallel = sequential;
+    parallel.query_lanes = 2;
+    parallel.dp_lanes = 2;
+    core::S2Verifier par_verifier(parallel);
+    core::VerifyResult par = par_verifier.Verify(net, queries);
+    ASSERT_TRUE(par.ok()) << instance.label << ": " << par.failure_detail;
+
+    ASSERT_EQ(par.queries.size(), seq.queries.size()) << instance.label;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ExpectSameVerdict(par.queries[q], seq.queries[q],
+                        instance.label + "/q" + std::to_string(q));
+    }
+  }
+}
+
+// Bonsai checks reachability per destination over compressed instances, so
+// only its full-reachability verdict is comparable: on a healthy FatTree
+// both Bonsai and the oracle must report zero unreachable, and Bonsai must
+// have visited every edge host prefix.
+TEST(DifferentialOracleTest, BonsaiAgreesOnFatTreeReachability) {
+  util::Rng rng(53);
+  for (int i = 0; i < 2; ++i) {
+    topo::FatTreeParams params;
+    params.k = 4;
+    params.max_ecmp_paths = static_cast<int>(rng.Between(2, 64));
+    params.mixed_vendors = (rng.Next() & 1) != 0;
+    std::string label = "bonsai/fattree/i" + std::to_string(i);
+    topo::Network raw = topo::MakeFatTree(params);
+    config::ParsedNetwork net = testing::Parse(raw);
+    Oracle oracle = RunOracle(net, AllPairQuery(net));
+    ASSERT_TRUE(oracle.result.ok()) << label;
+
+    core::BonsaiVerifier bonsai{core::BonsaiOptions{}};
+    core::VerifyResult result = bonsai.Verify(raw);
+    ASSERT_TRUE(result.ok()) << label << ": " << result.failure_detail;
+    ASSERT_EQ(result.queries.size(), 1u) << label;
+    EXPECT_EQ(result.queries[0].unreachable_pairs, 0u) << label;
+    EXPECT_EQ(oracle.result.queries[0].unreachable_pairs, 0u) << label;
+    // k=4: one destination verdict per edge switch host prefix.
+    EXPECT_EQ(result.queries[0].reachable_pairs, 8u) << label;
+  }
+}
+
+}  // namespace
+}  // namespace s2

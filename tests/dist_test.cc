@@ -14,6 +14,7 @@
 #include "test_networks.h"
 #include "topo/dcn.h"
 #include "topo/fattree.h"
+#include "util/status.h"
 
 namespace s2::dist {
 namespace {
@@ -423,6 +424,91 @@ TEST(DistResourceTest, PerWorkerBudgetOomIsAVerdict) {
   core::VerifyResult result = verifier.Verify(net, {});
   EXPECT_EQ(result.status, core::RunStatus::kOutOfMemory);
   EXPECT_NE(result.failure_detail.find("worker-"), std::string::npos);
+}
+
+// The parallel data-plane paths surface the same resource verdicts as the
+// sequential engine: per-lane node tables still honor max_bdd_nodes, lane
+// and per-query-domain charges still land on the worker tracker.
+
+TEST(DistResourceTest, ParallelLanesBddOverflowIsAVerdict) {
+  topo::FatTreeParams params;
+  params.k = 4;
+  auto net = testing::Parse(topo::MakeFatTree(params));
+  ControllerOptions options;
+  options.num_workers = 2;
+  options.dp_lanes = 3;
+  options.max_bdd_nodes = 64;  // tiny per-lane node table
+  core::S2Verifier verifier(options);
+  dp::Query query;
+  query.header_space.dst = util::MustParsePrefix("10.0.0.0/8");
+  query.sources = {0};
+  query.destinations = {net.graph.FindByName("edge-1-0")};
+  core::VerifyResult result = verifier.Verify(net, {query});
+  EXPECT_EQ(result.status, core::RunStatus::kOutOfMemory);
+  EXPECT_NE(result.failure_detail.find("bdd-node-table"),
+            std::string::npos);
+}
+
+TEST(DistResourceTest, ParallelLanesBudgetOomIsAVerdict) {
+  topo::FatTreeParams params;
+  params.k = 4;
+  auto net = testing::Parse(topo::MakeFatTree(params));
+  ControllerOptions options;
+  options.num_workers = 2;
+  options.dp_lanes = 2;
+  options.worker_memory_budget = 20'000;  // far too small
+  core::S2Verifier verifier(options);
+  core::VerifyResult result = verifier.Verify(net, {});
+  EXPECT_EQ(result.status, core::RunStatus::kOutOfMemory);
+  EXPECT_NE(result.failure_detail.find("worker-"), std::string::npos);
+}
+
+TEST(DistResourceTest, QueryParallelDomainsRespectWorkerBudget) {
+  topo::FatTreeParams params;
+  params.k = 4;
+  auto net = testing::Parse(topo::MakeFatTree(params));
+  dp::Query query;
+  query.header_space.dst = util::MustParsePrefix("10.0.0.0/8");
+  query.sources = {net.graph.FindByName("edge-0-0")};
+  query.destinations = {net.graph.FindByName("edge-1-0")};
+  std::vector<dp::Query> queries = {query, query, query, query};
+
+  // Measure the budget-free peak through the data-plane build, then rerun
+  // with a budget just above it: the per-query rebuilt domains charge the
+  // same worker trackers on top, so RunQueries must trip the budget.
+  size_t build_peak = 0;
+  {
+    ControllerOptions options;
+    options.num_workers = 2;
+    Controller controller(net, options);
+    controller.Setup();
+    controller.RunControlPlane();
+    controller.BuildDataPlanes();
+    build_peak = controller.MaxWorkerPeakBytes();
+  }
+  ControllerOptions options;
+  options.num_workers = 2;
+  options.query_lanes = 4;
+  options.worker_memory_budget = build_peak + 10'000;
+  Controller controller(net, options);
+  controller.Setup();
+  controller.RunControlPlane();
+  controller.BuildDataPlanes();
+  EXPECT_THROW(controller.RunQueries(queries), util::SimulatedOom);
+}
+
+TEST(DistResourceTest, NonConvergenceIsTimeoutWithParallelLanes) {
+  topo::Network net = testing::MakeChain(2);
+  auto p = util::MustParsePrefix("203.0.113.0/24");
+  net.intents[0].cond_advs.push_back(topo::CondAdvIntent{p, p, false});
+  auto parsed = testing::Parse(net);
+  ControllerOptions options;
+  options.num_workers = 2;
+  options.max_rounds = 20;
+  options.dp_lanes = 2;
+  core::S2Verifier verifier(options);
+  core::VerifyResult result = verifier.Verify(parsed, {});
+  EXPECT_EQ(result.status, core::RunStatus::kTimeout);
 }
 
 TEST(DistResourceTest, MoreWorkersLowerPerWorkerPeak) {
