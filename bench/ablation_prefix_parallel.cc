@@ -15,7 +15,8 @@
 using namespace s2;
 using namespace s2::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsOptions obs = ParseObsFlags(argc, argv);
   const int k = 8;
   std::printf("=== Ablation: sequential vs parallel shard execution "
               "(k=%d, %s, 4 workers) ===\n\n",
@@ -30,6 +31,7 @@ int main() {
     core::S2Verifier verifier(options);
     verifier.skip_data_plane_without_queries = true;
     core::VerifyResult result = verifier.Verify(built.parsed, {});
+    CaptureReport(obs, verifier, result);
     if (!result.ok()) {
       std::printf("%-8d %s\n", shards, core::RunStatusName(result.status));
       continue;
@@ -56,5 +58,6 @@ int main() {
       "one shard's worth but pays the summed per-shard memory — it gives\n"
       "back most of what sharding saved. Worth it only when time, not\n"
       "memory, is the binding constraint.\n");
+  FinishObs(obs);
   return 0;
 }

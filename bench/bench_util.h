@@ -22,6 +22,7 @@
 #include "core/bonsai.h"
 #include "core/mono.h"
 #include "core/s2.h"
+#include "obs/trace.h"
 #include "topo/fattree.h"
 
 namespace s2::bench {
@@ -103,6 +104,58 @@ inline dist::ControllerOptions S2Options(uint32_t workers, int shards) {
   options.worker_memory_budget = kWorkerBudget;
   options.cost = BenchCost();
   return options;
+}
+
+// ---------------------------------------------------------- observability
+// Every figure benchmark accepts:
+//   --trace_out=<path>   capture a Chrome trace-event JSON of the whole
+//                        program (all runs of the sweep);
+//   --report_out=<path>  write the RunReport JSON of the benchmark's last
+//                        captured S2 run (each CaptureReport call
+//                        overwrites the file, so the final run wins).
+struct ObsOptions {
+  std::string trace_out;
+  std::string report_out;
+};
+
+inline ObsOptions ParseObsFlags(int argc, char** argv) {
+  ObsOptions options;
+  const std::string kTrace = "--trace_out=";
+  const std::string kReport = "--report_out=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.compare(0, kTrace.size(), kTrace) == 0) {
+      options.trace_out = arg.substr(kTrace.size());
+    } else if (arg.compare(0, kReport.size(), kReport) == 0) {
+      options.report_out = arg.substr(kReport.size());
+    } else {
+      std::fprintf(stderr, "ignoring unknown flag: %s\n", arg.c_str());
+    }
+  }
+  if (!options.trace_out.empty()) obs::Tracer::Get().Enable();
+  return options;
+}
+
+inline void CaptureReport(const ObsOptions& options,
+                          const core::S2Verifier& verifier,
+                          const core::VerifyResult& result) {
+  if (options.report_out.empty()) return;
+  if (!verifier.WriteRunReport(result, options.report_out)) {
+    std::fprintf(stderr, "failed to write %s\n", options.report_out.c_str());
+  }
+}
+
+// Call once at program end: stops the tracer and writes the trace file.
+inline void FinishObs(const ObsOptions& options) {
+  if (options.trace_out.empty()) return;
+  obs::Tracer& tracer = obs::Tracer::Get();
+  tracer.Disable();
+  if (tracer.WriteChromeJson(options.trace_out)) {
+    std::printf("\ntrace: %zu events -> %s\n", tracer.event_count(),
+                options.trace_out.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", options.trace_out.c_str());
+  }
 }
 
 // A result row in the shared table format.

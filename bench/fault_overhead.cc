@@ -19,20 +19,22 @@ struct Sample {
   core::VerifyResult result;
 };
 
-void MeasureOnce(const BuiltNetwork& built, const dp::Query& query,
+void MeasureOnce(const ObsOptions& obs, const BuiltNetwork& built,
+                 const dp::Query& query,
                  const dist::ControllerOptions& options, int repeat,
                  Sample& best) {
   core::S2Verifier verifier(options);
   util::Stopwatch watch;
   core::VerifyResult result = verifier.Verify(built.parsed, {query});
   double seconds = watch.ElapsedSeconds();
+  CaptureReport(obs, verifier, result);
   if (repeat == 0 || seconds < best.wall_seconds) {
     best.wall_seconds = seconds;
     best.result = std::move(result);
   }
 }
 
-int Main() {
+int Main(const ObsOptions& obs) {
   BuiltNetwork built = BuildFatTree(8);
   dp::Query query = AllPairQuery(built.parsed);
 
@@ -56,9 +58,9 @@ int Main() {
   // biases neither side of the comparison.
   Sample base, envelope, faulty;
   for (int r = 0; r < kRepeats; ++r) {
-    MeasureOnce(built, query, direct, r, base);
-    MeasureOnce(built, query, reliable, r, envelope);
-    MeasureOnce(built, query, chaotic, r, faulty);
+    MeasureOnce(obs, built, query, direct, r, base);
+    MeasureOnce(obs, built, query, reliable, r, envelope);
+    MeasureOnce(obs, built, query, chaotic, r, faulty);
   }
 
   std::printf("%-22s %10s %12s %12s %12s %10s\n", "mode", "status", "wall",
@@ -95,4 +97,9 @@ int Main() {
 }  // namespace
 }  // namespace s2::bench
 
-int main() { return s2::bench::Main(); }
+int main(int argc, char** argv) {
+  s2::bench::ObsOptions obs = s2::bench::ParseObsFlags(argc, argv);
+  int rc = s2::bench::Main(obs);
+  s2::bench::FinishObs(obs);
+  return rc;
+}

@@ -13,6 +13,8 @@ using namespace s2::bench;
 
 namespace {
 
+ObsOptions g_obs;
+
 dp::Query SinglePair(const config::ParsedNetwork& parsed) {
   // Two edge switches in different pods (the paper's E6 -> E19 pattern).
   dp::Query query;
@@ -46,6 +48,7 @@ Phases RunS2(const config::ParsedNetwork& parsed, const dp::Query& query,
   options.worker_memory_budget = 0;
   core::S2Verifier verifier(options);
   core::VerifyResult result = verifier.Verify(parsed, {query});
+  CaptureReport(g_obs, verifier, result);
   return {core::RunStatusName(result.status),
           result.dp_build.modeled_seconds,
           result.dp_forward.modeled_seconds};
@@ -178,7 +181,8 @@ int RunMultiQueryMode() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_obs = ParseObsFlags(argc, argv);
   std::printf("=== Figure 10: DPV — all-pair and single-pair "
               "reachability ===\n\n");
   for (int k : {6, 8, 10}) {
@@ -210,5 +214,7 @@ int main() {
       "expected shape: s2 beats batfish in both phases; the predicate\n"
       "phase speedup approaches the worker count; the gap widens with k;\n"
       "single-pair checks also speed up (packets fan across workers).\n\n");
-  return RunMultiQueryMode();
+  int rc = RunMultiQueryMode();
+  FinishObs(g_obs);
+  return rc;
 }

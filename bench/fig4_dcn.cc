@@ -45,7 +45,8 @@ dp::Query TorQuery(const config::ParsedNetwork& parsed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsOptions obs = ParseObsFlags(argc, argv);
   std::printf("=== Figure 4: real-DCN stand-in — time and peak memory ===\n");
   topo::Network network = topo::MakeDcn(BenchDcn());
   auto parsed = config::ParseNetwork(config::SynthesizeConfigs(network));
@@ -70,12 +71,15 @@ int main() {
   }
   {
     core::S2Verifier verifier(S2Options(16, kShards));
-    PrintRow("s2-16w", verifier.Verify(parsed, {query}));
+    core::VerifyResult result = verifier.Verify(parsed, {query});
+    CaptureReport(obs, verifier, result);
+    PrintRow("s2-16w", result);
   }
 
   std::printf(
       "\nexpected shape: batfish OOM; batfish+sharding finishes near the\n"
       "budget; S2 finishes well under it; S2 without sharding uses more\n"
       "memory but (with memory plentiful) less time than sharded S2.\n");
+  FinishObs(obs);
   return 0;
 }

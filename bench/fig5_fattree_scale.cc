@@ -11,7 +11,8 @@
 using namespace s2;
 using namespace s2::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsOptions obs = ParseObsFlags(argc, argv);
   std::printf(
       "=== Figure 5: FatTree scaling — Batfish vs Bonsai vs S2 ===\n");
   // Tighter than kWorkerBudget: S2's peaks are CP-dominated (per-shard
@@ -47,8 +48,9 @@ int main() {
       dist::ControllerOptions options = S2Options(workers, kShards);
       options.worker_memory_budget = budget;
       core::S2Verifier verifier(options);
-      PrintRow("s2-" + std::to_string(workers) + "w",
-               verifier.Verify(built.parsed, {query}));
+      core::VerifyResult result = verifier.Verify(built.parsed, {query});
+      CaptureReport(obs, verifier, result);
+      PrintRow("s2-" + std::to_string(workers) + "w", result);
     }
     std::printf("\n");
   }
@@ -59,5 +61,6 @@ int main() {
       "~FatTree80; s2-1w outlives batfish by two sizes thanks to prefix\n"
       "sharding before hitting the wall itself; adding workers divides\n"
       "the per-worker peak and extends the reach to the largest size.\n");
+  FinishObs(obs);
   return 0;
 }

@@ -8,7 +8,8 @@
 using namespace s2;
 using namespace s2::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsOptions obs = ParseObsFlags(argc, argv);
   const int k = 8;  // ~ FatTree60, the paper's Figure 6 subject
   std::printf("=== Figure 6: S2 scale-out on k=%d (%s) ===\n\n", k,
               PaperSize(k));
@@ -23,6 +24,7 @@ int main() {
     options.worker_memory_budget = 0;
     core::S2Verifier verifier(options);
     core::VerifyResult result = verifier.Verify(built.parsed, {query});
+    CaptureReport(obs, verifier, result);
     std::printf("%-8u %9s %14s %14s %12s %12s\n", workers,
                 core::RunStatusName(result.status),
                 core::HumanSeconds(result.TotalModeledSeconds()).c_str(),
@@ -33,5 +35,6 @@ int main() {
   std::printf(
       "\nexpected shape: modeled time and per-worker peak fall steeply to\n"
       "~8 workers, then flatten (per-worker resources stop binding).\n");
+  FinishObs(obs);
   return 0;
 }

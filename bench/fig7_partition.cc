@@ -15,7 +15,8 @@ using namespace s2::bench;
 
 namespace {
 
-void RunNetwork(const char* label, const config::ParsedNetwork& parsed,
+void RunNetwork(const ObsOptions& obs, const char* label,
+                const config::ParsedNetwork& parsed,
                 const dp::Query& query) {
   std::printf("--- %s (%zu switches, 8 workers) ---\n", label,
               parsed.graph.size());
@@ -31,6 +32,7 @@ void RunNetwork(const char* label, const config::ParsedNetwork& parsed,
     options.scheme = scheme;
     core::S2Verifier verifier(options);
     core::VerifyResult result = verifier.Verify(parsed, {query});
+    CaptureReport(obs, verifier, result);
     double cp = result.control_plane.modeled_seconds;
     double dpv = result.dp_build.modeled_seconds +
                  result.dp_forward.modeled_seconds;
@@ -47,11 +49,13 @@ void RunNetwork(const char* label, const config::ParsedNetwork& parsed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsOptions obs = ParseObsFlags(argc, argv);
   std::printf("=== Figure 7: partition schemes ===\n\n");
 
   BuiltNetwork fattree = BuildFatTree(8);
-  RunNetwork(PaperSize(8), fattree.parsed, AllPairQuery(fattree.parsed));
+  RunNetwork(obs, PaperSize(8), fattree.parsed,
+             AllPairQuery(fattree.parsed));
 
   topo::DcnParams params;
   params.small_clusters = 3;
@@ -69,11 +73,12 @@ int main() {
       query.destinations.push_back(id);
     }
   }
-  RunNetwork("DCN", parsed, query);
+  RunNetwork(obs, "DCN", parsed, query);
 
   std::printf(
       "expected shape: random/expert/metis within a small factor of each\n"
       "other; imbalanced much worse (one worker carries 3/4 of the\n"
       "network); comm-heavy slightly worse than random.\n");
+  FinishObs(obs);
   return 0;
 }

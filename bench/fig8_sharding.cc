@@ -9,7 +9,8 @@
 using namespace s2;
 using namespace s2::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsOptions obs = ParseObsFlags(argc, argv);
   std::printf("=== Figure 8: sharding on/off across FatTree sizes "
               "(s2-16w, budget %s) ===\n\n",
               core::HumanBytes(kWorkerBudget).c_str());
@@ -29,6 +30,7 @@ int main() {
       // Control-plane simulation only (Figure 8 is a simulation figure).
       verifier.skip_data_plane_without_queries = true;
       core::VerifyResult result = verifier.Verify(built.parsed, {});
+      CaptureReport(obs, verifier, result);
       std::string label = std::string(PaperSize(k)) +
                           (shards ? " sharded" : " unsharded");
       std::printf("%-22s %9s %14s %12s\n", label.c_str(),
@@ -43,5 +45,6 @@ int main() {
   std::printf(
       "\nexpected shape: sharding lowers the peak everywhere; at the\n"
       "largest size only the sharded run finishes.\n");
+  FinishObs(obs);
   return 0;
 }

@@ -10,7 +10,8 @@
 using namespace s2;
 using namespace s2::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsOptions obs = ParseObsFlags(argc, argv);
   const int k = 8;
   std::printf("=== Figure 9: shard-count sweep on k=%d (%s) ===\n\n", k,
               PaperSize(k));
@@ -31,6 +32,7 @@ int main() {
     core::S2Verifier verifier(options);
     verifier.skip_data_plane_without_queries = true;
     core::VerifyResult result = verifier.Verify(built.parsed, {});
+    CaptureReport(obs, verifier, result);
     std::printf("%-8d %9s %14s %14s %12s\n", shards,
                 core::RunStatusName(result.status),
                 result.ok()
@@ -45,5 +47,6 @@ int main() {
   std::printf(
       "\nexpected shape: peak memory falls monotonically; modeled time is\n"
       "U-shaped with its minimum where GC pressure disappears.\n");
+  FinishObs(obs);
   return 0;
 }

@@ -10,12 +10,44 @@
 #include "cp/policy.h"
 #include "cp/rib.h"
 #include "dp/packet.h"
+#include "obs/trace.h"
 #include "topo/fattree.h"
 #include "topo/partition.h"
 
 namespace {
 
 using namespace s2;
+
+// ------------------------------------------------------------- tracing
+
+// The cost contract instrumented hot paths rely on: a disabled Span is one
+// relaxed atomic load plus trivial construction (ISSUE budget: <2% on any
+// instrumented loop).
+void BM_TracerDisabledSpan(benchmark::State& state) {
+  obs::Tracer::Get().Disable();
+  for (auto _ : state) {
+    obs::Span span("bench", "bench.disabled");
+    span.Arg("i", 1);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TracerDisabledSpan);
+
+void BM_TracerEnabledSpan(benchmark::State& state) {
+  obs::Tracer::Get().Enable();
+  size_t i = 0;
+  for (auto _ : state) {
+    // Re-Enable (which clears the buffer) periodically so the event vector
+    // doesn't grow without bound across iterations.
+    if ((++i & 0x3FFF) == 0) obs::Tracer::Get().Enable();
+    obs::Span span("bench", "bench.enabled");
+    span.Arg("i", 1);
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::Tracer::Get().Disable();
+  obs::Tracer::Get().Clear();
+}
+BENCHMARK(BM_TracerEnabledSpan);
 
 // ------------------------------------------------------------------ BDD
 

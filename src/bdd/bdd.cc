@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/trace.h"
+
 namespace s2::bdd {
 
 namespace {
@@ -216,6 +218,9 @@ void Manager::MaybeGc() {
 }
 
 void Manager::GarbageCollect() {
+  obs::Span span("bdd", "bdd.gc");
+  span.Arg("allocated", static_cast<int64_t>(allocated_nodes()));
+  span.Arg("dead", static_cast<int64_t>(dead_count_));
   // Entries inserted (or hit) after this sweep carry the new generation;
   // entries untouched since the previous sweep become eviction victims.
   ++generation_;

@@ -90,4 +90,67 @@ bool WriteJsonReport(const VerifyResult& result, const std::string& path) {
   return static_cast<bool>(out);
 }
 
+void PublishRoundMetrics(const std::string& prefix,
+                         const dist::RoundMetrics& metrics,
+                         obs::Registry& registry) {
+  registry.SetCounter(prefix + ".rounds", metrics.rounds);
+  registry.SetGauge(prefix + ".wall_seconds", metrics.wall_seconds);
+  registry.SetGauge(prefix + ".modeled_seconds", metrics.modeled_seconds);
+  registry.SetCounter(prefix + ".comm_bytes",
+                      static_cast<int64_t>(metrics.comm_bytes));
+  registry.SetCounter(prefix + ".comm_messages",
+                      static_cast<int64_t>(metrics.comm_messages));
+  registry.SetCounter(prefix + ".bdd_cache_hits",
+                      static_cast<int64_t>(metrics.bdd_cache_hits));
+  registry.SetCounter(prefix + ".bdd_cache_misses",
+                      static_cast<int64_t>(metrics.bdd_cache_misses));
+  registry.SetCounter(prefix + ".bdd_cache_evictions",
+                      static_cast<int64_t>(metrics.bdd_cache_evictions));
+}
+
+void PublishVerifyResult(const VerifyResult& result,
+                         obs::Registry& registry) {
+  registry.SetLabel("run.status", RunStatusName(result.status));
+  if (!result.ok()) registry.SetLabel("run.failure", result.failure_detail);
+  registry.SetGauge("parse.seconds", result.parse_seconds);
+  registry.SetGauge("partition.seconds", result.partition_seconds);
+  PublishRoundMetrics("cp", result.control_plane, registry);
+  PublishRoundMetrics("dp_build", result.dp_build, registry);
+  PublishRoundMetrics("dp_forward", result.dp_forward, registry);
+  registry.SetCounter("mem.max_worker_peak_bytes",
+                      static_cast<int64_t>(result.peak_memory_bytes));
+  for (size_t w = 0; w < result.worker_peaks.size(); ++w) {
+    registry.SetCounter("mem.worker_peak_bytes.w" + std::to_string(w),
+                        static_cast<int64_t>(result.worker_peaks[w]));
+  }
+  registry.SetCounter("routes.total_best",
+                      static_cast<int64_t>(result.total_best_routes));
+  registry.SetCounter("comm.total_bytes",
+                      static_cast<int64_t>(result.comm_bytes));
+  registry.SetCounter("dp.forwarding_steps",
+                      static_cast<int64_t>(result.forwarding_steps));
+  registry.SetCounter("transport.retransmits",
+                      static_cast<int64_t>(result.retransmits));
+  registry.SetCounter("transport.frames_dropped",
+                      static_cast<int64_t>(result.frames_dropped));
+  registry.SetCounter(
+      "transport.duplicates_suppressed",
+      static_cast<int64_t>(result.duplicates_suppressed));
+  registry.SetCounter("controller.worker_recoveries",
+                      static_cast<int64_t>(result.worker_recoveries));
+  registry.SetCounter("queries.count",
+                      static_cast<int64_t>(result.queries.size()));
+}
+
+void PublishEngineStats(const cp::EngineStats& stats,
+                        obs::Registry& registry) {
+  registry.SetCounter("engine.ospf_rounds", stats.ospf_rounds);
+  registry.SetCounter("engine.bgp_rounds", stats.bgp_rounds);
+  registry.SetCounter("engine.shards_executed", stats.shards_executed);
+  registry.SetGauge("engine.compute_seconds", stats.compute_seconds);
+  registry.SetGauge("engine.modeled_seconds", stats.modeled_seconds);
+  registry.SetCounter("engine.total_best_routes",
+                      static_cast<int64_t>(stats.total_best_routes));
+}
+
 }  // namespace s2::core

@@ -7,6 +7,8 @@
 #include <string>
 
 #include "core/results.h"
+#include "cp/engine.h"
+#include "obs/registry.h"
 
 namespace s2::core {
 
@@ -16,5 +18,24 @@ std::string ToJson(const VerifyResult& result);
 // Convenience: writes ToJson(result) to `path`; returns false on I/O
 // failure.
 bool WriteJsonReport(const VerifyResult& result, const std::string& path);
+
+// ------------------------------------------------- RunReport publishers
+// Flatten the repo's counter structs into an obs::Registry so one
+// RunReport JSON carries a whole run's breakdown. Publishers live here —
+// next to the result types — so the registry stays schema-free.
+
+// Every RoundMetrics field under `prefix` (e.g. "cp" -> cp.rounds,
+// cp.comm_bytes, cp.bdd_cache_hits, ...).
+void PublishRoundMetrics(const std::string& prefix,
+                         const dist::RoundMetrics& metrics,
+                         obs::Registry& registry);
+
+// Every VerifyResult field: status label, phase seconds, the three
+// RoundMetrics blocks (cp / dp_build / dp_forward), memory peaks, route
+// and comm totals, and the fault-tolerance counters.
+void PublishVerifyResult(const VerifyResult& result, obs::Registry& registry);
+
+// MonoEngine pass statistics under "engine." (baseline runs).
+void PublishEngineStats(const cp::EngineStats& stats, obs::Registry& registry);
 
 }  // namespace s2::core

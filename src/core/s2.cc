@@ -1,5 +1,9 @@
 #include "core/s2.h"
 
+#include <fstream>
+
+#include "core/report.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace s2::core {
@@ -7,7 +11,12 @@ namespace s2::core {
 VerifyResult S2Verifier::Verify(const std::vector<std::string>& config_texts,
                                 const std::vector<dp::Query>& queries) {
   util::Stopwatch watch;
-  config::ParsedNetwork network = config::ParseNetwork(config_texts);
+  config::ParsedNetwork network;
+  {
+    obs::Span span("controller", "controller.parse");
+    span.Arg("configs", static_cast<int64_t>(config_texts.size()));
+    network = config::ParseNetwork(config_texts);
+  }
   double parse_seconds = watch.ElapsedSeconds();
   VerifyResult result = Verify(std::move(network), queries);
   result.parse_seconds = parse_seconds;
@@ -80,6 +89,21 @@ VerifyResult S2Verifier::Verify(config::ParsedNetwork network,
     result.worker_recoveries = controller_->worker_recoveries();
   }
   return result;
+}
+
+std::string S2Verifier::RunReportJson(const VerifyResult& result) const {
+  obs::Registry registry;
+  registry.SetLabel("schema", "s2.run_report.v1");
+  PublishVerifyResult(result, registry);
+  if (controller_) controller_->PublishMetrics(registry);
+  return registry.ToJson();
+}
+
+bool S2Verifier::WriteRunReport(const VerifyResult& result,
+                                const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  out << RunReportJson(result) << "\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace s2::core

@@ -42,6 +42,15 @@ class S2Verifier {
   // exposes partition/shard-plan details for diagnostics and benchmarks.
   dist::Controller* last_controller() { return controller_.get(); }
 
+  // One RunReport JSON object combining `result`'s phase metrics with the
+  // last controller's live counters (per-worker fabric traffic, per-shard
+  // control-plane metrics, reliable-transport stats). Deterministic key
+  // order; schema label "s2.run_report.v1".
+  std::string RunReportJson(const VerifyResult& result) const;
+  // Writes RunReportJson(result) to `path`; false on I/O failure.
+  bool WriteRunReport(const VerifyResult& result,
+                      const std::string& path) const;
+
  private:
   dist::ControllerOptions options_;
   std::unique_ptr<dist::Controller> controller_;

@@ -65,8 +65,8 @@ void MonoEngine::Run(const ShardPlan* plan, RibStore* store) {
   }
 
   if (plan != nullptr) {
-    for (size_t shard = 0; shard < plan->shards.size(); ++shard) {
-      for (auto& node : nodes_) node->BeginBgp(&plan->shards[shard]);
+    for (size_t shard = 0; shard < plan->num_shards(); ++shard) {
+      for (auto& node : nodes_) node->BeginBgp(&plan->shard(shard));
       stats_.bgp_rounds += RunRounds();
       ++stats_.shards_executed;
       for (auto& node : nodes_) {

@@ -31,11 +31,44 @@ class UnionFind {
 
 }  // namespace
 
-int ShardPlan::ShardOf(const util::Ipv4Prefix& prefix) const {
-  for (size_t i = 0; i < shards.size(); ++i) {
-    if (shards[i].count(prefix)) return static_cast<int>(i);
+void ShardPlan::ResizeShards(size_t n) {
+  for (size_t s = n; s < shards_.size(); ++s) {
+    for (const util::Ipv4Prefix& prefix : shards_[s]) index_.erase(prefix);
   }
-  return -1;
+  shards_.resize(n);
+}
+
+void ShardPlan::Assign(size_t shard, const util::Ipv4Prefix& prefix) {
+  auto it = index_.find(prefix);
+  if (it != index_.end()) {
+    if (it->second == static_cast<int>(shard)) return;
+    shards_[it->second].erase(prefix);
+    it->second = static_cast<int>(shard);
+  } else {
+    index_.emplace(prefix, static_cast<int>(shard));
+  }
+  shards_[shard].insert(prefix);
+}
+
+void ShardPlan::Erase(const util::Ipv4Prefix& prefix) {
+  auto it = index_.find(prefix);
+  if (it == index_.end()) return;
+  shards_[it->second].erase(prefix);
+  index_.erase(it);
+}
+
+int ShardPlan::Merge(const util::Ipv4Prefix& a, const util::Ipv4Prefix& b) {
+  int sa = ShardOf(a), sb = ShardOf(b);
+  if (sa < 0 || sb < 0 || sa == sb) return -1;
+  int lo = std::min(sa, sb), hi = std::max(sa, sb);
+  shards_[lo].insert(shards_[hi].begin(), shards_[hi].end());
+  for (const util::Ipv4Prefix& prefix : shards_[hi]) index_[prefix] = lo;
+  shards_.erase(shards_.begin() + hi);
+  // Shards above the erased one shift down by one.
+  for (auto& [prefix, shard] : index_) {
+    if (shard > hi) --shard;
+  }
+  return lo;
 }
 
 std::vector<util::Ipv4Prefix> CollectBgpPrefixes(
@@ -109,25 +142,20 @@ ShardPlan BuildShardPlan(const config::ParsedNetwork& network, int num_shards,
   ShardPlan plan;
   size_t shard_count = std::max<size_t>(
       1, std::min<size_t>(static_cast<size_t>(num_shards), ccs.size()));
-  plan.shards.resize(shard_count);
+  plan.ResizeShards(shard_count);
   for (const std::vector<size_t>& cc : ccs) {
     size_t smallest = 0;
-    for (size_t s = 1; s < plan.shards.size(); ++s) {
-      if (plan.shards[s].size() < plan.shards[smallest].size()) smallest = s;
+    for (size_t s = 1; s < plan.num_shards(); ++s) {
+      if (plan.shard(s).size() < plan.shard(smallest).size()) smallest = s;
     }
-    for (size_t i : cc) plan.shards[smallest].insert(prefixes[i]);
+    for (size_t i : cc) plan.Assign(smallest, prefixes[i]);
   }
   return plan;
 }
 
 int MergeShards(ShardPlan& plan, const util::Ipv4Prefix& a,
                 const util::Ipv4Prefix& b) {
-  int sa = plan.ShardOf(a), sb = plan.ShardOf(b);
-  if (sa < 0 || sb < 0 || sa == sb) return -1;
-  int lo = std::min(sa, sb), hi = std::max(sa, sb);
-  plan.shards[lo].insert(plan.shards[hi].begin(), plan.shards[hi].end());
-  plan.shards.erase(plan.shards.begin() + hi);
-  return lo;
+  return plan.Merge(a, b);
 }
 
 namespace {
@@ -172,8 +200,15 @@ std::vector<ShardViolation> ValidateShardPlan(
 
 int RepairShardPlan(const config::ParsedNetwork& network, ShardPlan& plan) {
   int fixes = 0;
-  // Each merge can invalidate previously-clean pairs' indices, so iterate
-  // to a fixed point; the plan only ever shrinks, so this terminates.
+  // Apply every violation of a pass before re-validating: ShardOf is
+  // re-queried per violation, so earlier merges in the same pass are
+  // already reflected (the plan's index absorbs the shard renumbering a
+  // merge causes). The old one-merge-per-validation loop re-scanned the
+  // whole dependency set after every single merge, which together with a
+  // linear ShardOf made repair superquadratic. A merged pair can co-locate
+  // a previously split third prefix, never the reverse, so the fixed point
+  // is reached in few passes; the plan only ever shrinks, so this
+  // terminates.
   for (;;) {
     std::vector<ShardViolation> violations =
         ValidateShardPlan(network, plan);
@@ -182,20 +217,19 @@ int RepairShardPlan(const config::ParsedNetwork& network, ShardPlan& plan) {
       int sd = plan.ShardOf(violation.dependent);
       int sr = plan.ShardOf(violation.required);
       if (sd < 0 && sr < 0) {
-        if (plan.shards.empty()) plan.shards.emplace_back();
-        plan.shards[0].insert(violation.dependent);
-        plan.shards[0].insert(violation.required);
+        if (plan.empty()) plan.ResizeShards(1);
+        plan.Assign(0, violation.dependent);
+        plan.Assign(0, violation.required);
         ++fixes;
       } else if (sd < 0) {
-        plan.shards[sr].insert(violation.dependent);
+        plan.Assign(sr, violation.dependent);
         ++fixes;
       } else if (sr < 0) {
-        plan.shards[sd].insert(violation.required);
+        plan.Assign(sd, violation.required);
         ++fixes;
       } else if (sd != sr) {
-        MergeShards(plan, violation.dependent, violation.required);
+        plan.Merge(violation.dependent, violation.required);
         ++fixes;
-        break;  // indices shifted; re-validate
       }
     }
   }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "config/parser.h"
@@ -18,16 +19,51 @@
 
 namespace s2::cp {
 
-struct ShardPlan {
-  std::vector<PrefixSet> shards;
+// A partition of the BGP prefix universe into shards. Mutations go through
+// Assign/Erase/Merge so the prefix->shard index stays consistent: ShardOf
+// is O(1), which is what keeps ValidateShardPlan/RepairShardPlan linear in
+// the number of dependency pairs (a linear-scan ShardOf made them
+// superquadratic on real prefix counts).
+class ShardPlan {
+ public:
+  size_t num_shards() const { return shards_.size(); }
+  const std::vector<PrefixSet>& shards() const { return shards_; }
+  const PrefixSet& shard(size_t i) const { return shards_[i]; }
+  bool empty() const { return shards_.empty(); }
 
-  size_t total_prefixes() const {
-    size_t n = 0;
-    for (const PrefixSet& shard : shards) n += shard.size();
-    return n;
-  }
+  // Every prefix lives in exactly one shard.
+  size_t total_prefixes() const { return index_.size(); }
+
   // Index of the shard containing `prefix`, or -1.
-  int ShardOf(const util::Ipv4Prefix& prefix) const;
+  int ShardOf(const util::Ipv4Prefix& prefix) const {
+    auto it = index_.find(prefix);
+    return it == index_.end() ? -1 : it->second;
+  }
+
+  // Sets the shard count. Prefixes in shards beyond the new count (when
+  // shrinking) are dropped from the plan.
+  void ResizeShards(size_t n);
+
+  // Puts `prefix` into `shard`, moving it out of its current shard if it
+  // is already assigned elsewhere.
+  void Assign(size_t shard, const util::Ipv4Prefix& prefix);
+
+  // Removes `prefix` from the plan entirely (no-op when absent).
+  void Erase(const util::Ipv4Prefix& prefix);
+
+  // Merges the shards containing `a` and `b` into the lower-indexed one
+  // and erases the higher-indexed shard (shards above it shift down).
+  // Returns the merged shard's index, or -1 when the prefixes already
+  // share a shard or either is unassigned.
+  int Merge(const util::Ipv4Prefix& a, const util::Ipv4Prefix& b);
+
+  friend bool operator==(const ShardPlan& lhs, const ShardPlan& rhs) {
+    return lhs.shards_ == rhs.shards_;
+  }
+
+ private:
+  std::vector<PrefixSet> shards_;
+  std::unordered_map<util::Ipv4Prefix, int> index_;
 };
 
 // The BGP prefix universe: network statements, aggregates, conditional

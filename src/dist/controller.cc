@@ -1,7 +1,10 @@
 #include "dist/controller.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
+
+#include "obs/trace.h"
 
 namespace s2::dist {
 
@@ -12,6 +15,9 @@ Controller::Controller(config::ParsedNetwork network,
 Controller::~Controller() = default;
 
 void Controller::Setup() {
+  obs::Span span("controller", "controller.partition");
+  span.Arg("workers", options_.num_workers);
+  span.Arg("shards", options_.num_shards);
   partition_ = topo::Partition(network_.graph, options_.num_workers,
                                options_.scheme, options_.seed);
   fabric_ = std::make_unique<SidecarFabric>(options_.num_workers,
@@ -78,6 +84,7 @@ void Controller::Setup() {
 }
 
 RoundMetrics Controller::RunControlPlane() {
+  obs::Span span("controller", "controller.control_plane");
   bool any_ospf = false;
   for (const config::ViConfig& config : network_.configs) {
     any_ospf = any_ospf || config.ospf.enabled;
@@ -91,6 +98,7 @@ RoundMetrics Controller::RunControlPlane() {
 }
 
 RoundMetrics Controller::BuildDataPlanes() {
+  obs::Span span("controller", "controller.dp_build");
   RoundMetrics metrics = dpo_->BuildDataPlanes(store_.get());
   if (injector_ != nullptr) {
     for (uint32_t w = 0; w < workers_.size(); ++w) {
@@ -106,6 +114,7 @@ RoundMetrics Controller::BuildDataPlanes() {
 }
 
 Controller::QueryOutcome Controller::RunQuery(const dp::Query& query) {
+  obs::Span span("controller", "controller.query");
   dp::PacketCodec gather_codec(gather_manager_.get(), options_.layout);
   Dpo::QueryRun run = dpo_->RunQuery(query, gather_codec);
   QueryOutcome outcome;
@@ -129,6 +138,8 @@ Controller::QueryOutcome Controller::RunQuery(const dp::Query& query) {
 
 Controller::MultiQueryOutcome Controller::RunQueries(
     const std::vector<dp::Query>& queries) {
+  obs::Span span("controller", "controller.query");
+  span.Arg("queries", static_cast<int64_t>(queries.size()));
   dp::PacketCodec gather_codec(gather_manager_.get(), options_.layout);
   size_t lanes = options_.query_lanes;
   if (lanes == 0) lanes = std::min<size_t>(queries.size(), 8);
@@ -174,7 +185,7 @@ void Controller::RecoverWorker(uint32_t w) {
                                          worker_options_);
   Worker& worker = *workers_[w];
   const cp::PrefixSet* shard =
-      (checkpoint.shard >= 0 && plan_) ? &plan_->shards[checkpoint.shard]
+      (checkpoint.shard >= 0 && plan_) ? &plan_->shard(checkpoint.shard)
                                        : nullptr;
   worker.Restore(checkpoint, shard);
   worker.ReplayDelivered(checkpoint.fabric_round, fabric_->CurrentRound(),
@@ -213,6 +224,79 @@ std::vector<size_t> Controller::WorkerPeakBytes() const {
     peaks.push_back(worker->tracker().peak_bytes());
   }
   return peaks;
+}
+
+void Controller::PublishMetrics(obs::Registry& registry) const {
+  registry.SetCounter("controller.num_workers",
+                      static_cast<int64_t>(workers_.size()));
+  registry.SetCounter("controller.worker_recoveries",
+                      static_cast<int64_t>(worker_recoveries_));
+  registry.SetCounter("mem.max_worker_peak_bytes",
+                      static_cast<int64_t>(MaxWorkerPeakBytes()));
+  std::vector<size_t> peaks = WorkerPeakBytes();
+  for (size_t w = 0; w < peaks.size(); ++w) {
+    std::string tag = ".w" + std::to_string(w);
+    registry.SetCounter("mem.worker_peak_bytes" + tag,
+                        static_cast<int64_t>(peaks[w]));
+    if (fabric_) {
+      registry.SetCounter("fabric.bytes_sent" + tag,
+                          static_cast<int64_t>(fabric_->bytes_sent_by(w)));
+      registry.SetCounter(
+          "fabric.messages_sent" + tag,
+          static_cast<int64_t>(fabric_->messages_sent_by(w)));
+      registry.SetCounter(
+          "fabric.max_queue_depth" + tag,
+          static_cast<int64_t>(fabric_->max_queue_depth(w)));
+    }
+  }
+  if (fabric_) {
+    registry.SetCounter("fabric.total_bytes",
+                        static_cast<int64_t>(fabric_->total_bytes()));
+    if (fabric_->reliable()) {
+      fault::ReliableTransport::Stats stats = fabric_->transport_stats();
+      registry.SetCounter("transport.data_frames",
+                          static_cast<int64_t>(stats.data_frames));
+      registry.SetCounter("transport.retransmits",
+                          static_cast<int64_t>(stats.retransmits));
+      registry.SetCounter("transport.acks",
+                          static_cast<int64_t>(stats.acks));
+      registry.SetCounter("transport.wire_bytes",
+                          static_cast<int64_t>(stats.wire_bytes));
+      registry.SetCounter("transport.dropped",
+                          static_cast<int64_t>(stats.dropped));
+      registry.SetCounter("transport.duplicated",
+                          static_cast<int64_t>(stats.duplicated));
+      registry.SetCounter("transport.delayed",
+                          static_cast<int64_t>(stats.delayed));
+      registry.SetCounter("transport.reordered",
+                          static_cast<int64_t>(stats.reordered));
+      registry.SetCounter(
+          "transport.duplicates_suppressed",
+          static_cast<int64_t>(stats.duplicates_suppressed));
+      registry.SetCounter("transport.out_of_order",
+                          static_cast<int64_t>(stats.out_of_order));
+    }
+  }
+  if (cpo_) {
+    const std::vector<ShardMetrics>& shards = cpo_->shard_metrics();
+    registry.SetCounter("cp.shards_run",
+                        static_cast<int64_t>(shards.size()));
+    for (size_t s = 0; s < shards.size(); ++s) {
+      std::string prefix = "cp.shard." + std::to_string(s);
+      registry.SetCounter(prefix + ".rounds",
+                          static_cast<int64_t>(shards[s].rounds.rounds));
+      registry.SetCounter(
+          prefix + ".comm_bytes",
+          static_cast<int64_t>(shards[s].rounds.comm_bytes));
+      registry.SetGauge(prefix + ".modeled_seconds",
+                        shards[s].rounds.modeled_seconds);
+      registry.SetCounter(
+          prefix + ".max_worker_peak_bytes",
+          static_cast<int64_t>(shards[s].max_worker_peak));
+    }
+  }
+  registry.SetCounter("routes.total_best",
+                      static_cast<int64_t>(TotalBestRoutes()));
 }
 
 }  // namespace s2::dist

@@ -11,6 +11,7 @@
 
 #include "dist/dpo.h"
 #include "fault/plan.h"
+#include "obs/registry.h"
 #include "topo/partition.h"
 
 namespace s2::dist {
@@ -113,6 +114,13 @@ class Controller {
   const fault::FaultInjector* injector() const { return injector_.get(); }
   size_t worker_recoveries() const { return worker_recoveries_; }
   const SidecarFabric& fabric() const { return *fabric_; }
+
+  // Publishes everything the controller can observe into `registry`:
+  // per-worker peaks and fabric counters (bytes/messages/queue depth),
+  // per-shard control-plane metrics, reliable-transport stats, and
+  // recovery counts. The facade combines this with the per-phase
+  // RoundMetrics into the RunReport (core/report.h).
+  void PublishMetrics(obs::Registry& registry) const;
 
  private:
   config::ParsedNetwork network_;

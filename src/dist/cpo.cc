@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -43,6 +44,9 @@ RoundMetrics Cpo::RunRounds() {
   size_t num_workers = workers_->size();
   std::vector<char> produced(num_workers, 0);
   for (;;) {
+    obs::Span round_span("cp", "cp.round");
+    round_span.Arg("shard", current_shard_);
+    round_span.Arg("round", cp_round_total_);
     // Phase A (barrier): every worker computes its nodes' round and ships
     // outboxes through its sidecar.
     size_t bytes_before = fabric_->total_bytes();
@@ -115,6 +119,7 @@ RoundMetrics Cpo::Run(bool any_ospf, const cp::ShardPlan* plan,
   observed_peak_ = 0;
   cp_round_total_ = 0;
   if (any_ospf) {
+    obs::Span span("cp", "cp.ospf_pass");
     pool_->ParallelFor(workers_->size(),
                        [&](size_t w) { (*workers_)[w]->BeginOspf(); });
     current_shard_ = -1;
@@ -124,8 +129,10 @@ RoundMetrics Cpo::Run(bool any_ospf, const cp::ShardPlan* plan,
                        [&](size_t w) { (*workers_)[w]->FinishOspf(); });
   }
   if (plan != nullptr) {
-    for (size_t shard = 0; shard < plan->shards.size(); ++shard) {
-      const cp::PrefixSet* prefixes = &plan->shards[shard];
+    for (size_t shard = 0; shard < plan->num_shards(); ++shard) {
+      obs::Span span("cp", "cp.shard");
+      span.Arg("shard", static_cast<int64_t>(shard));
+      const cp::PrefixSet* prefixes = &plan->shard(shard);
       // Reset per-worker peaks so the shard's own peak is attributable
       // (the paper's per-round peak memory, Fig 9).
       observed_peak_ = std::max(observed_peak_, MaxWorkerPeakNow());
@@ -145,6 +152,8 @@ RoundMetrics Cpo::Run(bool any_ospf, const cp::ShardPlan* plan,
       });
       metrics.max_worker_peak = MaxWorkerPeakNow();
       observed_peak_ = std::max(observed_peak_, metrics.max_worker_peak);
+      span.Arg("rounds", metrics.rounds.rounds);
+      span.Arg("peak_bytes", static_cast<int64_t>(metrics.max_worker_peak));
       shard_metrics_.push_back(metrics);
     }
   } else {

@@ -5,6 +5,7 @@
 
 #include "bdd/bdd_io.h"
 #include "fault/checkpoint.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace s2::dist {
@@ -48,6 +49,8 @@ RoundMetrics Dpo::BuildDataPlanes(const cp::RibStore* store) {
   RoundMetrics metrics;
   util::Stopwatch wall;
   pool_->ParallelFor(workers_->size(), [&](size_t w) {
+    obs::Span span("dp", "dp.worker_build");
+    span.Arg("worker", static_cast<int64_t>(w));
     (*workers_)[w]->BuildDataPlane(store);
   });
   for (const auto& worker : *workers_) {
@@ -73,6 +76,8 @@ Dpo::QueryRun Dpo::RunQuery(const dp::Query& query,
   size_t num_workers = workers_->size();
   std::vector<char> moved(num_workers, 0);
   for (;;) {
+    obs::Span round_span("dp", "dp.round");
+    round_span.Arg("round", run.metrics.rounds);
     size_t bytes_before = fabric_->total_bytes();
     // Two barrier phases per round (like the CPO's rounds): packets a
     // worker ships in phase B are only accepted in the NEXT round's phase
@@ -152,6 +157,8 @@ Dpo::MultiQueryRun Dpo::RunQueries(const std::vector<dp::Query>& queries,
   std::vector<QueryOutput> outputs(queries.size());
 
   pool_->ParallelFor(queries.size(), [&](size_t q) {
+    obs::Span query_span("dp", "dp.query");
+    query_span.Arg("query", static_cast<int64_t>(q));
     const dp::Query& query = queries[q];
     RoundMetrics& metrics = multi.runs[q].metrics;
     double cpu_start = util::ThreadCpuSeconds();

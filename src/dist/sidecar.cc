@@ -1,15 +1,21 @@
 #include "dist/sidecar.h"
 
+#include "obs/trace.h"
+
 namespace s2::dist {
 
 SidecarFabric::SidecarFabric(uint32_t num_workers,
                              std::vector<uint32_t> assignment)
     : num_workers_(num_workers),
       assignment_(std::move(assignment)),
-      queues_(num_workers),
       bytes_sent_(num_workers),
       messages_sent_(num_workers),
-      max_queue_depth_(num_workers) {}
+      max_queue_depth_(num_workers) {
+  queues_.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    queues_.push_back(std::make_unique<QueueShard>());
+  }
+}
 
 void SidecarFabric::EnableReliableDelivery(const fault::FaultPlan& tuning,
                                            const fault::FaultInjector* injector,
@@ -25,14 +31,16 @@ void SidecarFabric::Send(uint32_t from_worker, Message message) {
   bytes_sent_[from_worker].fetch_add(message.WireBytes(),
                                      std::memory_order_relaxed);
   messages_sent_[from_worker].fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
   if (transport_ != nullptr) {
+    std::lock_guard<std::mutex> lock(transport_mutex_);
     transport_->Ship(from_worker, to_worker, std::move(message));
     return;
   }
-  std::vector<Message>& queue = queues_[to_worker];
-  queue.push_back(std::move(message));
-  size_t depth = queue.size();
+  QueueShard& shard = *queues_[to_worker];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (send_hook_) send_hook_(to_worker);
+  shard.queue.push_back(std::move(message));
+  size_t depth = shard.queue.size();
   std::atomic<size_t>& high = max_queue_depth_[to_worker];
   size_t seen = high.load(std::memory_order_relaxed);
   while (depth > seen &&
@@ -42,18 +50,31 @@ void SidecarFabric::Send(uint32_t from_worker, Message message) {
 }
 
 std::vector<Message> SidecarFabric::Drain(uint32_t worker) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (transport_ != nullptr) return transport_->Drain(worker);
-  std::vector<Message> out = std::move(queues_[worker]);
-  queues_[worker].clear();
+  obs::Span span("comms", "sidecar.drain");
+  span.Arg("worker", static_cast<int64_t>(worker));
+  span.Arg("reliable", transport_ != nullptr ? 1 : 0);
+  if (transport_ != nullptr) {
+    std::lock_guard<std::mutex> lock(transport_mutex_);
+    std::vector<Message> out = transport_->Drain(worker);
+    span.Arg("messages", static_cast<int64_t>(out.size()));
+    return out;
+  }
+  QueueShard& shard = *queues_[worker];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<Message> out = std::move(shard.queue);
+  shard.queue.clear();
+  span.Arg("messages", static_cast<int64_t>(out.size()));
   return out;
 }
 
 bool SidecarFabric::HasPending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (transport_ != nullptr) return transport_->HasPending();
-  for (const auto& queue : queues_) {
-    if (!queue.empty()) return true;
+  if (transport_ != nullptr) {
+    std::lock_guard<std::mutex> lock(transport_mutex_);
+    return transport_->HasPending();
+  }
+  for (const auto& shard : queues_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (!shard->queue.empty()) return true;
   }
   return false;
 }
@@ -76,7 +97,7 @@ size_t SidecarFabric::total_bytes() const {
 
 size_t SidecarFabric::max_queue_depth(uint32_t worker) const {
   if (transport_ != nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(transport_mutex_);
     return transport_->MaxQueueDepth(worker);
   }
   return max_queue_depth_[worker].load(std::memory_order_relaxed);
@@ -91,25 +112,27 @@ void SidecarFabric::ResetCounters() {
 }
 
 void SidecarFabric::MarkCheckpoint(uint32_t worker) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (transport_ != nullptr) transport_->MarkCheckpoint(worker);
+  if (transport_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(transport_mutex_);
+  transport_->MarkCheckpoint(worker);
 }
 
 std::vector<fault::LoggedDelivery> SidecarFabric::ReplayLog(
     uint32_t worker) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   if (transport_ == nullptr) return {};
+  std::lock_guard<std::mutex> lock(transport_mutex_);
   return transport_->ReplayLog(worker);
 }
 
 int SidecarFabric::CurrentRound() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return transport_ == nullptr ? 0 : transport_->CurrentRound();
+  if (transport_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(transport_mutex_);
+  return transport_->CurrentRound();
 }
 
 fault::ReliableTransport::Stats SidecarFabric::transport_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   if (transport_ == nullptr) return {};
+  std::lock_guard<std::mutex> lock(transport_mutex_);
   return transport_->stats();
 }
 

@@ -11,13 +11,22 @@
 // Two delivery modes:
 //   - direct (default): a perfect, loss-free queue — zero overhead;
 //   - reliable: every message runs through fault::ReliableTransport
-//     (sequence numbers, cumulative acks, retransmits) with an optional
+//     (sequence numbers, acks, retransmits) with an optional
 //     FaultInjector perturbing frames. The sidecar survives worker
 //     crashes — like the paper's separate sidecar process — so its
 //     channel state and replay logs are what recovery builds on.
+//
+// Locking: direct mode shards the lock per destination queue, so senders
+// to different workers never contend (they only meet on the receiver's
+// queue, exactly like N independent sidecar processes). Reliable mode
+// keeps one transport-wide lock: ReliableTransport owns cross-channel
+// state — a global round clock and cumulative per-channel acks whose
+// retransmit decisions observe every channel — so per-queue locks would
+// not make its operations independent.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -45,7 +54,8 @@ class SidecarFabric {
   bool reliable() const { return transport_ != nullptr; }
 
   // Routes `message` to the sidecar of the worker hosting its to_node.
-  // Thread-safe: workers send concurrently during parallel phases.
+  // Thread-safe: workers send concurrently during parallel phases, and in
+  // direct mode sends to distinct destinations do not serialize.
   void Send(uint32_t from_worker, Message message);
 
   // Drains the inbound queue of `worker`. In reliable mode this advances
@@ -68,6 +78,14 @@ class SidecarFabric {
   // Resets the per-worker counters (between phases/experiments).
   void ResetCounters();
 
+  // Test-only: invoked with the destination worker inside the per-queue
+  // critical section of a direct-mode Send. Lets concurrency tests prove
+  // that holding one destination's lock does not block sends to another.
+  // Not thread-safe to set while traffic flows.
+  void set_send_hook(std::function<void(uint32_t)> hook) {
+    send_hook_ = std::move(hook);
+  }
+
   // ------------------------------------------------ recovery (reliable mode)
   // Truncates the replay log of `worker` (taken together with a worker
   // checkpoint at a barrier).
@@ -80,15 +98,26 @@ class SidecarFabric {
   fault::ReliableTransport::Stats transport_stats() const;
 
  private:
+  // One inbound queue per worker with its own lock. unique_ptr because
+  // std::mutex is immovable and the vector is sized at construction.
+  struct QueueShard {
+    std::mutex mutex;
+    std::vector<Message> queue;
+  };
+
   uint32_t num_workers_;
   std::vector<uint32_t> assignment_;
-  mutable std::mutex mutex_;
-  std::vector<std::vector<Message>> queues_;       // per receiving worker
-  // Counters are atomics so concurrent senders never race, even where the
-  // queue lock is not held.
+  std::vector<std::unique_ptr<QueueShard>> queues_;  // per receiving worker
+  // Counters are atomics so concurrent senders never race, even where no
+  // queue lock is held.
   std::vector<std::atomic<size_t>> bytes_sent_;    // per sending worker
   std::vector<std::atomic<size_t>> messages_sent_;
   std::vector<std::atomic<size_t>> max_queue_depth_;
+  std::function<void(uint32_t)> send_hook_;
+
+  // Reliable mode only: one lock for the whole transport (see header
+  // comment for why it cannot be sharded per queue).
+  mutable std::mutex transport_mutex_;
   std::unique_ptr<fault::ReliableTransport> transport_;
 };
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "bdd/bdd_io.h"
+#include "obs/trace.h"
 
 namespace s2::dp {
 
@@ -97,7 +98,10 @@ void ParallelForwarding::Run(util::ThreadPool* pool,
                              const RemoteEmit& remote) {
   if (lanes_.size() == 1) {
     // Sequential special case: no lockstep machinery, bit-identical to the
-    // pre-lane engine (the differential oracle's baseline).
+    // pre-lane engine (the differential oracle's baseline). One span for
+    // the whole drain — there are no per-level rounds to attribute.
+    obs::Span span("dp", "dp.lane.run");
+    span.Arg("lane", 0);
     ForwardingEngine::RemoteEmit emit;
     if (remote) {
       emit = [&](const InFlightPacket& packet) { remote(ToWire(packet)); };
@@ -121,6 +125,9 @@ void ParallelForwarding::Run(util::ThreadPool* pool,
     auto drain = [&](size_t i) {
       Lane& lane = lanes_[i];
       if (lane.engine->NextLevel() != level) return;
+      obs::Span span("dp", "dp.lane.round");
+      span.Arg("lane", static_cast<int64_t>(i));
+      span.Arg("level", level);
       lane.engine->DrainLevel(level, [&](const InFlightPacket& packet) {
         outboxes[i].push_back(ToWire(packet));
       });

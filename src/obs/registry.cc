@@ -1,0 +1,138 @@
+#include "obs/registry.h"
+
+#include <cstdio>
+
+namespace s2::obs {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void Registry::SetCounter(const std::string& name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] = value;
+}
+
+void Registry::AddCounter(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void Registry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void Registry::SetLabel(const std::string& name, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  labels_[name] = value;
+}
+
+int64_t Registry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::string Registry::label(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = labels_.find(name);
+  return it == labels_.end() ? std::string() : it->second;
+}
+
+bool Registry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+         labels_.count(name) != 0;
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + labels_.size();
+}
+
+void Registry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  labels_.clear();
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  char buf[64];
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendEscaped(out, name);
+    std::snprintf(buf, sizeof(buf), "\":%lld",
+                  static_cast<long long>(value));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendEscaped(out, name);
+    std::snprintf(buf, sizeof(buf), "\":%.9g", value);
+    out += buf;
+  }
+  out += "},\"labels\":{";
+  first = true;
+  for (const auto& [name, value] : labels_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendEscaped(out, name);
+    out += "\":\"";
+    AppendEscaped(out, value);
+    out += "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+bool Registry::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && written == json.size();
+}
+
+}  // namespace s2::obs

@@ -1,0 +1,57 @@
+// Metrics registry: the single sink the repo's scattered counters publish
+// into.
+//
+// PR 1 and PR 2 each grew ad-hoc counter structs (RoundMetrics,
+// EngineStats, ShardMetrics, ReliableTransport::Stats, per-fabric
+// high-water atomics, MemoryTracker peaks). The Registry unifies them as
+// flat named values so one machine-readable RunReport JSON can carry a
+// whole run's breakdown — the per-phase/per-worker evidence the paper's
+// §7 figures are built from. Publishers live next to the structs they
+// serialize (core/report.h, dist::Controller::PublishMetrics); the
+// registry itself knows nothing about them.
+//
+// Three value kinds:
+//   counters — integer totals (bytes, messages, rounds, cache hits);
+//   gauges   — point-in-time doubles (seconds, pressure fractions);
+//   labels   — short strings (status, partition scheme).
+//
+// Thread-safe; names are dotted paths ("cp.comm_bytes",
+// "mem.worker_peak_bytes.w3"). ToJson() is deterministic (sorted keys).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace s2::obs {
+
+class Registry {
+ public:
+  void SetCounter(const std::string& name, int64_t value);
+  void AddCounter(const std::string& name, int64_t delta);
+  void SetGauge(const std::string& name, double value);
+  void SetLabel(const std::string& name, const std::string& value);
+
+  // Reads (0 / empty when absent).
+  int64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  std::string label(const std::string& name) const;
+  bool Has(const std::string& name) const;
+  size_t size() const;
+
+  void Clear();
+
+  // {"counters":{...},"gauges":{...},"labels":{...}} — keys sorted, so
+  // byte-identical for identical contents.
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, std::string> labels_;
+};
+
+}  // namespace s2::obs

@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace s2::obs {
+
+namespace {
+
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // leaked: spans may outlive main
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void Tracer::Record(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+double Tracer::NowMicros() const {
+  if (epoch_ == std::chrono::steady_clock::time_point{}) return 0;
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<Event> snapshot = events();
+  // Stable viewing order (the record order is schedule-dependent).
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[64];
+  bool first = true;
+  for (const Event& event : snapshot) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += event.name;
+    out += "\",\"cat\":\"";
+    out += event.category;
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf), "%u", event.tid);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  event.ts_us, event.dur_us);
+    out += buf;
+    if (!event.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t i = 0; i < event.args.size(); ++i) {
+        if (i) out += ",";
+        out += "\"";
+        out += event.args[i].first;
+        std::snprintf(buf, sizeof(buf), "\":%lld",
+                      static_cast<long long>(event.args[i].second));
+        out += buf;
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = ToChromeJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && written == json.size();
+}
+
+std::string Tracer::Summary() const {
+  struct Row {
+    size_t count = 0;
+    double total_us = 0;
+    double max_us = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Row> rows;
+  for (const Event& event : events()) {
+    Row& row = rows[{event.category, event.name}];
+    ++row.count;
+    row.total_us += event.dur_us;
+    row.max_us = std::max(row.max_us, event.dur_us);
+  }
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-10s %-28s %8s %12s %12s\n",
+                "category", "span", "count", "total-ms", "max-ms");
+  out += line;
+  for (const auto& [key, row] : rows) {
+    std::snprintf(line, sizeof(line), "%-10s %-28s %8zu %12.3f %12.3f\n",
+                  key.first.c_str(), key.second.c_str(), row.count,
+                  row.total_us / 1e3, row.max_us / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+void Span::Begin(const char* category, const char* name) {
+  event_.name = name;
+  event_.category = category;
+  event_.tid = ThisThreadId();
+  event_.ts_us = Tracer::Get().NowMicros();
+}
+
+void Span::End() {
+  Tracer& tracer = Tracer::Get();
+  // A span that straddles Disable() is dropped rather than recorded with
+  // a clock from the stale epoch.
+  if (!tracer.enabled()) return;
+  event_.dur_us = tracer.NowMicros() - event_.ts_us;
+  tracer.Record(std::move(event_));
+}
+
+}  // namespace s2::obs

@@ -1,0 +1,118 @@
+// Span-based tracing (the observability layer every perf PR reads its
+// evidence from).
+//
+// A Span is an RAII region marker: construction stamps a begin time,
+// destruction records a complete event into the process-global Tracer.
+// Spans carry a category (a coarse subsystem bucket: "controller", "cp",
+// "dp", "bdd", "comms"), a name, and small integer args (worker / lane /
+// shard / round ids) — exactly the per-phase, per-worker breakdown the
+// paper's §7 evaluation slices by.
+//
+// Cost discipline: the tracer is disabled by default, and a disabled Span
+// is one relaxed atomic load plus trivially-constructed members — no
+// clock reads, no allocation, no locking. All span names and arg keys are
+// string literals, so an *enabled* span allocates only when its arg vector
+// spills. This keeps instrumentation safe to leave on hot paths
+// (forwarding rounds, BDD GC, sidecar drains); micro_bench pins the
+// disabled cost.
+//
+// Tracing never feeds back into verification: spans only read the steady
+// clock, so results are byte-identical with tracing on or off
+// (determinism_test pins this).
+//
+// Export formats:
+//   - ToChromeJson(): Chrome trace-event JSON ("X" complete events),
+//     loadable in chrome://tracing / Perfetto;
+//   - Summary(): a plain-text per-(category, name) table of count and
+//     total/max duration, for terminal use.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace s2::obs {
+
+class Tracer {
+ public:
+  // One complete ("X") trace event. `name`/`category`/arg keys must be
+  // string literals (static storage): events outlive the spans that made
+  // them and are recorded without copying.
+  struct Event {
+    const char* name = "";
+    const char* category = "";
+    double ts_us = 0;   // microseconds since Enable()
+    double dur_us = 0;
+    uint32_t tid = 0;   // small per-thread id, assigned on first use
+    std::vector<std::pair<const char*, int64_t>> args;
+  };
+
+  // The process-global tracer every Span records into.
+  static Tracer& Get();
+
+  // Starts capture: clears any previous events and resets the time epoch.
+  void Enable();
+  // Stops capture; recorded events remain readable until Enable/Clear.
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Clear();
+
+  void Record(Event event);
+
+  size_t event_count() const;
+  std::vector<Event> events() const;  // snapshot copy
+
+  // Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  std::string ToChromeJson() const;
+  // Writes ToChromeJson() to `path`; false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+  // Per-(category, name) plain-text table: count, total ms, max ms.
+  std::string Summary() const;
+
+  // Microseconds since the Enable() epoch (0 when never enabled).
+  double NowMicros() const;
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+// RAII span. Usage:
+//   obs::Span span("cp", "cp.shard");
+//   span.Arg("shard", shard_index);
+class Span {
+ public:
+  Span(const char* category, const char* name)
+      : active_(Tracer::Get().enabled()) {
+    if (active_) Begin(category, name);
+  }
+  ~Span() {
+    if (active_) End();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attaches a small integer argument; `key` must be a string literal.
+  void Arg(const char* key, int64_t value) {
+    if (active_) event_.args.emplace_back(key, value);
+  }
+
+ private:
+  void Begin(const char* category, const char* name);
+  void End();
+
+  bool active_;
+  Tracer::Event event_;
+};
+
+}  // namespace s2::obs

@@ -5,13 +5,47 @@
 
 namespace s2::util {
 
+namespace {
+
+// Strict decimal parse of text[pos..): 1-3 digits, value <= `max`, no
+// sign, no whitespace, no leading zeros ("0" is fine, "00"/"01" are not —
+// some tools read a leading 0 as octal, so the form is ambiguous).
+// Advances `pos` past the digits; returns nullopt without a digit.
+std::optional<uint32_t> ParseStrictDecimal(const std::string& text,
+                                           size_t& pos, uint32_t max) {
+  size_t start = pos;
+  uint32_t value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    if (pos - start >= 3) return std::nullopt;
+    value = value * 10 + static_cast<uint32_t>(text[pos] - '0');
+    ++pos;
+  }
+  if (pos == start) return std::nullopt;
+  if (text[start] == '0' && pos - start > 1) return std::nullopt;
+  if (value > max) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
 std::optional<Ipv4Address> Ipv4Address::Parse(const std::string& text) {
-  unsigned a, b, c, d;
-  char trailing;
-  int n = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d,
-                      &trailing);
-  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
-  return Ipv4Address((a << 24) | (b << 16) | (c << 8) | d);
+  // sscanf("%u") is too forgiving here: it accepts leading whitespace,
+  // '+'/'-' signs, and wraps values past UINT_MAX — so garbage like
+  // " 1.2.3.4" or "1.2.3.4294967299" used to parse. Exactly four strict
+  // dot-separated octets, nothing else.
+  size_t pos = 0;
+  uint32_t bits = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    std::optional<uint32_t> value = ParseStrictDecimal(text, pos, 255);
+    if (!value) return std::nullopt;
+    bits = (bits << 8) | *value;
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Address(bits);
 }
 
 std::string Ipv4Address::ToString() const {
@@ -31,12 +65,11 @@ std::optional<Ipv4Prefix> Ipv4Prefix::Parse(const std::string& text) {
   if (slash == std::string::npos) return std::nullopt;
   auto addr = Ipv4Address::Parse(text.substr(0, slash));
   if (!addr) return std::nullopt;
-  char* end = nullptr;
-  long len = std::strtol(text.c_str() + slash + 1, &end, 10);
-  if (end == text.c_str() + slash + 1 || *end != '\0' || len < 0 || len > 32) {
-    return std::nullopt;
-  }
-  return Ipv4Prefix(*addr, static_cast<uint8_t>(len));
+  // strtol would accept "/ 8" and "/+8"; require bare strict digits.
+  size_t pos = slash + 1;
+  std::optional<uint32_t> len = ParseStrictDecimal(text, pos, 32);
+  if (!len || pos != text.size()) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<uint8_t>(*len));
 }
 
 bool Ipv4Prefix::Contains(Ipv4Address addr) const {

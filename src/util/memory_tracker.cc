@@ -1,16 +1,27 @@
 #include "util/memory_tracker.h"
 
+#include <cassert>
+
 namespace s2::util {
 
 void MemoryTracker::Charge(size_t bytes) {
-  size_t now = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-  if (budget_ != 0 && now > budget_) {
-    live_.fetch_sub(bytes, std::memory_order_relaxed);
-    throw SimulatedOom(domain_, bytes, budget_);
-  }
+  // Reserve with a CAS loop instead of fetch_add-then-rollback: the old
+  // scheme briefly published an over-budget live_ before throwing, so a
+  // concurrent Charge on another thread could see the inflated value and
+  // throw a spurious SimulatedOom even though its own charge fit. With the
+  // reservation loop, live_ never exceeds the budget.
+  size_t prev = live_.load(std::memory_order_relaxed);
+  size_t next;
+  do {
+    next = prev + bytes;
+    if (budget_ != 0 && next > budget_) {
+      throw SimulatedOom(domain_, bytes, budget_);
+    }
+  } while (!live_.compare_exchange_weak(prev, next,
+                                        std::memory_order_relaxed));
   size_t prev_peak = peak_.load(std::memory_order_relaxed);
-  while (now > prev_peak &&
-         !peak_.compare_exchange_weak(prev_peak, now,
+  while (next > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, next,
                                       std::memory_order_relaxed)) {
   }
 }
@@ -22,6 +33,14 @@ void MemoryTracker::Release(size_t bytes) {
     next = prev >= bytes ? prev - bytes : 0;
   } while (!live_.compare_exchange_weak(prev, next,
                                         std::memory_order_relaxed));
+  if (prev < bytes) {
+    // An underflowing release means some module released bytes it never
+    // charged — its accounting (and thus every peak/OOM figure) is off.
+    // Clamping keeps release-estimate asymmetries from wedging production
+    // runs, but the count is surfaced and debug builds fail loudly.
+    underflows_.fetch_add(1, std::memory_order_relaxed);
+    assert(false && "MemoryTracker::Release of more bytes than are live");
+  }
 }
 
 void MemoryTracker::ReleaseAll() { live_.store(0, std::memory_order_relaxed); }

@@ -34,7 +34,9 @@ class MemoryTracker {
   void Charge(size_t bytes);
 
   // Records a release. Releasing more than is live clamps to zero (callers
-  // charge estimates, so tiny asymmetries must not wedge the tracker).
+  // charge estimates, so tiny asymmetries must not wedge the tracker) but
+  // counts as an underflow — see underflow_count() — and asserts in debug
+  // builds: it means some module's accounting is asymmetric.
   void Release(size_t bytes);
 
   // Drops all live bytes (e.g. a shard round finished and its routes were
@@ -44,6 +46,11 @@ class MemoryTracker {
   size_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
   size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
   size_t budget_bytes() const { return budget_; }
+  // Times Release() was asked for more bytes than were live (always 0 in a
+  // correctly accounted run).
+  size_t underflow_count() const {
+    return underflows_.load(std::memory_order_relaxed);
+  }
   const std::string& domain() const { return domain_; }
 
   // Fraction of budget in use, 0 when unlimited. Drives the GC-pressure
@@ -57,6 +64,7 @@ class MemoryTracker {
   size_t budget_;
   std::atomic<size_t> live_{0};
   std::atomic<size_t> peak_{0};
+  std::atomic<size_t> underflows_{0};
 };
 
 }  // namespace s2::util

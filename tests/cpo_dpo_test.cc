@@ -27,7 +27,7 @@ TEST(CpoTest, PerShardMetricsCoverThePlan) {
   RoundMetrics total = controller.RunControlPlane();
 
   const std::vector<ShardMetrics>& shards = controller.shard_metrics();
-  ASSERT_EQ(shards.size(), controller.shard_plan()->shards.size());
+  ASSERT_EQ(shards.size(), controller.shard_plan()->num_shards());
   int rounds = 0;
   double modeled = 0;
   for (const ShardMetrics& shard : shards) {

@@ -14,6 +14,7 @@
 #include "core/s2.h"
 #include "dp/fib.h"
 #include "dp/parallel.h"
+#include "obs/trace.h"
 #include "test_networks.h"
 #include "topo/fattree.h"
 
@@ -179,6 +180,23 @@ TEST(DeterminismTest, QueryParallelRunsAreIdentical) {
   std::vector<dp::Query> queries = {AllPairQuery(net), single};
   ExpectIdentical(RunDistributed(net, queries, 2, std::nullopt),
                   RunDistributed(net, queries, 2, std::nullopt));
+}
+
+// Tracing must be a pure observer: the same distributed run with the
+// tracer capturing produces byte-identical FIBs, verdicts, and comm
+// accounting — while actually recording spans (an accidentally-disabled
+// tracer would pass vacuously).
+TEST(DeterminismTest, TracingDoesNotPerturbResults) {
+  config::ParsedNetwork net = FatTree4();
+  std::vector<dp::Query> queries = {AllPairQuery(net)};
+  RunOutcome off = RunDistributed(net, queries, 0, std::nullopt);
+  obs::Tracer::Get().Enable();
+  RunOutcome on = RunDistributed(net, queries, 0, std::nullopt);
+  size_t events = obs::Tracer::Get().event_count();
+  obs::Tracer::Get().Disable();
+  obs::Tracer::Get().Clear();
+  EXPECT_GT(events, 0u);
+  ExpectIdentical(off, on);
 }
 
 // Chaos-labeled case: a fault schedule (drops, duplication, reorder, a

@@ -9,6 +9,7 @@
 #include "test_networks.h"
 #include "topo/dcn.h"
 #include "topo/fattree.h"
+#include "util/stopwatch.h"
 
 namespace s2::cp {
 namespace {
@@ -46,7 +47,7 @@ TEST(BuildShardPlanTest, CoversUniverseExactlyOnce) {
   params.k = 4;
   auto parsed = testing::Parse(topo::MakeFatTree(params));
   ShardPlan plan = BuildShardPlan(parsed, 5);
-  EXPECT_EQ(plan.shards.size(), 5u);
+  EXPECT_EQ(plan.num_shards(), 5u);
   auto universe = CollectBgpPrefixes(parsed);
   EXPECT_EQ(plan.total_prefixes(), universe.size());
   for (const auto& prefix : universe) {
@@ -81,7 +82,7 @@ TEST(BuildShardPlanTest, BalancedSizes) {
   auto parsed = testing::Parse(topo::MakeFatTree(params));
   ShardPlan plan = BuildShardPlan(parsed, 10);
   size_t smallest = SIZE_MAX, largest = 0;
-  for (const PrefixSet& shard : plan.shards) {
+  for (const PrefixSet& shard : plan.shards()) {
     smallest = std::min(smallest, shard.size());
     largest = std::max(largest, shard.size());
   }
@@ -97,27 +98,27 @@ TEST(BuildShardPlanTest, SeedShufflesEqualSizedComponents) {
   ShardPlan a = BuildShardPlan(parsed, 4, 1);
   ShardPlan b = BuildShardPlan(parsed, 4, 1);
   ShardPlan c = BuildShardPlan(parsed, 4, 2);
-  EXPECT_EQ(a.shards, b.shards);  // deterministic per seed
-  EXPECT_NE(a.shards, c.shards);  // shuffled across seeds (paper §4.5)
+  EXPECT_EQ(a, b);  // deterministic per seed
+  EXPECT_NE(a, c);  // shuffled across seeds (paper §4.5)
 }
 
 TEST(BuildShardPlanTest, FewerComponentsThanShards) {
   auto parsed = testing::Parse(testing::MakeChain(2));
   ShardPlan plan = BuildShardPlan(parsed, 50);
-  EXPECT_LE(plan.shards.size(), 50u);
-  EXPECT_GE(plan.shards.size(), 1u);
-  for (const PrefixSet& shard : plan.shards) EXPECT_FALSE(shard.empty());
+  EXPECT_LE(plan.num_shards(), 50u);
+  EXPECT_GE(plan.num_shards(), 1u);
+  for (const PrefixSet& shard : plan.shards()) EXPECT_FALSE(shard.empty());
 }
 
 TEST(MergeShardsTest, MergesAndReindexes) {
   auto parsed = testing::Parse(testing::MakeChain(4));
   ShardPlan plan = BuildShardPlan(parsed, 4);
-  auto a = *plan.shards[0].begin();
-  auto b = *plan.shards[3].begin();
+  auto a = *plan.shard(0).begin();
+  auto b = *plan.shard(3).begin();
   size_t before = plan.total_prefixes();
   int merged = MergeShards(plan, a, b);
   EXPECT_EQ(merged, 0);
-  EXPECT_EQ(plan.shards.size(), 3u);
+  EXPECT_EQ(plan.num_shards(), 3u);
   EXPECT_EQ(plan.total_prefixes(), before);
   EXPECT_EQ(plan.ShardOf(a), plan.ShardOf(b));
   // Already together: no-op.
@@ -138,8 +139,7 @@ TEST(ValidateShardPlanTest, DetectsSplitDependencies) {
   auto agg = util::MustParsePrefix("10.2.0.0/16");
   int home = plan.ShardOf(agg);
   ASSERT_GE(home, 0);
-  plan.shards[home].erase(agg);
-  plan.shards[(home + 1) % plan.shards.size()].insert(agg);
+  plan.Assign((home + 1) % plan.num_shards(), agg);
   auto violations = ValidateShardPlan(parsed, plan);
   EXPECT_FALSE(violations.empty());
   for (const ShardViolation& violation : violations) {
@@ -151,7 +151,7 @@ TEST(ValidateShardPlanTest, DetectsMissingPrefixes) {
   auto parsed = testing::Parse(topo::MakeDcn(topo::DcnParams{}));
   ShardPlan plan = BuildShardPlan(parsed, 4);
   auto dflt = util::MustParsePrefix("0.0.0.0/0");
-  plan.shards[plan.ShardOf(dflt)].erase(dflt);
+  plan.Erase(dflt);
   EXPECT_FALSE(ValidateShardPlan(parsed, plan).empty());
 }
 
@@ -164,9 +164,8 @@ TEST(RepairShardPlanTest, RepairedPlanComputesCorrectRibs) {
   auto agg = util::MustParsePrefix("10.2.0.0/16");
   auto dflt = util::MustParsePrefix("0.0.0.0/0");
   int agg_home = plan.ShardOf(agg);
-  plan.shards[agg_home].erase(agg);
-  plan.shards[(agg_home + 1) % plan.shards.size()].insert(agg);
-  plan.shards[plan.ShardOf(dflt)].erase(dflt);
+  plan.Assign((agg_home + 1) % plan.num_shards(), agg);
+  plan.Erase(dflt);
 
   int fixes = RepairShardPlan(parsed, plan);
   EXPECT_GT(fixes, 0);
@@ -180,6 +179,93 @@ TEST(RepairShardPlanTest, RepairedPlanComputesCorrectRibs) {
   for (topo::NodeId id = 0; id < parsed.configs.size(); ++id) {
     ASSERT_EQ(store.ReadAll(id), direct.node(id).bgp_routes());
   }
+}
+
+// Fabricates a single-device network whose BGP universe has `pairs`
+// conditional advertisements over 2*pairs otherwise-independent /24s —
+// a dependency-dense universe that is cheap to build but large enough to
+// expose superlinear repair behaviour.
+config::ParsedNetwork BigUniverse(int pairs) {
+  config::ParsedNetwork net;
+  net.configs.emplace_back();
+  config::ViConfig& config = net.configs.back();
+  config.hostname = "big";
+  config.bgp.enabled = true;
+  for (int i = 0; i < pairs; ++i) {
+    util::Ipv4Prefix adv(
+        util::Ipv4Address((10u << 24) | (uint32_t(i) << 8)), 24);
+    util::Ipv4Prefix watch(
+        util::Ipv4Address((11u << 24) | (uint32_t(i) << 8)), 24);
+    config.bgp.networks.push_back(adv);
+    config.bgp.networks.push_back(watch);
+    config.bgp.cond_advs.push_back(config::BgpCondAdv{adv, watch, true});
+  }
+  return net;
+}
+
+// Regression: repair used to re-run full validation after every single
+// merge, and ShardOf was a linear scan over all shards — superquadratic in
+// the dependency count. On this universe (1500 dependency pairs, every one
+// violated) the old code burned minutes; the repaired loop with the O(1)
+// index finishes in well under a second. The generous wall bound keeps the
+// test robust on slow CI while still failing the pre-fix behaviour.
+TEST(RepairShardPlanTest, RepairScalesOnLargeCorruptedPlans) {
+  config::ParsedNetwork net = BigUniverse(1500);
+  ShardPlan plan = BuildShardPlan(net, 64);
+  ASSERT_EQ(plan.total_prefixes(), 3000u);
+  // Corrupt every dependency: move each advertised prefix out of its
+  // watch's shard.
+  for (const config::BgpCondAdv& cond : net.configs[0].bgp.cond_advs) {
+    int home = plan.ShardOf(cond.advertise);
+    ASSERT_GE(home, 0);
+    plan.Assign((home + 1) % plan.num_shards(), cond.advertise);
+  }
+  ASSERT_FALSE(ValidateShardPlan(net, plan).empty());
+
+  util::Stopwatch wall;
+  int fixes = RepairShardPlan(net, plan);
+  EXPECT_GT(fixes, 0);
+  EXPECT_TRUE(ValidateShardPlan(net, plan).empty());
+  EXPECT_LT(wall.ElapsedSeconds(), 10.0);
+  EXPECT_EQ(plan.total_prefixes(), 3000u);  // repair never loses prefixes
+}
+
+// Post-repair invariants, including the prefix->shard index the class
+// maintains through Assign/Erase/Merge renumbering: every universe prefix
+// is assigned, ShardOf agrees with shard membership, and repair is
+// idempotent.
+TEST(RepairShardPlanTest, RepairPreservesPlanInvariants) {
+  auto parsed = testing::Parse(topo::MakeDcn(topo::DcnParams{}));
+  ShardPlan plan = BuildShardPlan(parsed, 8);
+  auto universe = CollectBgpPrefixes(parsed);
+
+  // Corrupt three ways: split an aggregate from its contributors, split a
+  // conditional advertisement, and drop a prefix entirely.
+  auto agg = util::MustParsePrefix("10.2.0.0/16");
+  int agg_home = plan.ShardOf(agg);
+  ASSERT_GE(agg_home, 0);
+  plan.Assign((agg_home + 1) % plan.num_shards(), agg);
+  plan.Erase(util::MustParsePrefix("0.0.0.0/0"));
+
+  int fixes = RepairShardPlan(parsed, plan);
+  EXPECT_GT(fixes, 0);
+  EXPECT_TRUE(ValidateShardPlan(parsed, plan).empty());
+  EXPECT_EQ(RepairShardPlan(parsed, plan), 0);  // idempotent
+
+  EXPECT_EQ(plan.total_prefixes(), universe.size());
+  for (const auto& prefix : universe) {
+    EXPECT_NE(plan.ShardOf(prefix), -1) << prefix.ToString();
+  }
+  // Index consistency: membership and ShardOf agree, sizes add up.
+  size_t members = 0;
+  for (size_t s = 0; s < plan.num_shards(); ++s) {
+    for (const auto& prefix : plan.shard(s)) {
+      EXPECT_EQ(plan.ShardOf(prefix), static_cast<int>(s))
+          << prefix.ToString();
+      ++members;
+    }
+  }
+  EXPECT_EQ(members, plan.total_prefixes());
 }
 
 TEST(RepairShardPlanTest, RepairsEmptyPlan) {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 
 #include "util/cost_model.h"
 #include "util/ip.h"
@@ -33,6 +34,26 @@ TEST(Ipv4AddressTest, RejectsMalformed) {
   EXPECT_FALSE(Ipv4Address::Parse(""));
 }
 
+// Regression: the old sscanf("%u")-based parser accepted whitespace,
+// signs, and values that wrap past UINT_MAX. Only canonical dotted quads
+// may parse.
+TEST(Ipv4AddressTest, RejectsNonCanonicalForms) {
+  EXPECT_FALSE(Ipv4Address::Parse(" 1.2.3.4"));     // leading whitespace
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4 "));     // trailing whitespace
+  EXPECT_FALSE(Ipv4Address::Parse("1. 2.3.4"));     // inner whitespace
+  EXPECT_FALSE(Ipv4Address::Parse("+1.2.3.4"));     // sign
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.-4"));     // sign
+  EXPECT_FALSE(Ipv4Address::Parse("01.2.3.4"));     // leading zero (octal?)
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.00"));     // leading zero
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4294967299"));  // wraps to 3
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.0x4"));    // hex
+  EXPECT_FALSE(Ipv4Address::Parse("1..2.3"));       // empty octet
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3."));       // trailing dot
+  EXPECT_FALSE(Ipv4Address::Parse(".1.2.3.4"));     // leading dot
+  EXPECT_TRUE(Ipv4Address::Parse("0.0.0.0"));       // bare zero octets ok
+  EXPECT_TRUE(Ipv4Address::Parse("255.255.255.255"));
+}
+
 TEST(Ipv4AddressTest, Ordering) {
   EXPECT_LT(MustParseAddress("10.0.0.1"), MustParseAddress("10.0.0.2"));
   EXPECT_LT(MustParseAddress("9.255.255.255"), MustParseAddress("10.0.0.0"));
@@ -51,6 +72,18 @@ TEST(Ipv4PrefixTest, RejectsMalformed) {
   EXPECT_FALSE(Ipv4Prefix::Parse("10.1.2.0/33"));
   EXPECT_FALSE(Ipv4Prefix::Parse("10.1.2.0/-1"));
   EXPECT_FALSE(Ipv4Prefix::Parse("10.1.2.0/2x"));
+}
+
+// Regression: the old strtol-based length parser accepted "/ 8" and "/+8".
+TEST(Ipv4PrefixTest, RejectsNonCanonicalLengths) {
+  EXPECT_FALSE(Ipv4Prefix::Parse("1.2.3.4/ 8"));
+  EXPECT_FALSE(Ipv4Prefix::Parse("1.2.3.4/+8"));
+  EXPECT_FALSE(Ipv4Prefix::Parse("1.2.3.4/08"));   // leading zero
+  EXPECT_FALSE(Ipv4Prefix::Parse("1.2.3.4/8 "));   // trailing whitespace
+  EXPECT_FALSE(Ipv4Prefix::Parse("1.2.3.4/"));     // empty length
+  EXPECT_FALSE(Ipv4Prefix::Parse("1.2.3.4/832"));  // too many digits
+  EXPECT_TRUE(Ipv4Prefix::Parse("1.2.3.4/0"));     // bare zero ok
+  EXPECT_TRUE(Ipv4Prefix::Parse("1.2.3.4/32"));
 }
 
 TEST(Ipv4PrefixTest, Masks) {
@@ -132,11 +165,52 @@ TEST(MemoryTrackerTest, ChargesAndReleases) {
   EXPECT_EQ(tracker.peak_bytes(), 150u);  // peak sticks
 }
 
-TEST(MemoryTrackerTest, ReleaseClampsToZero) {
+#ifdef NDEBUG
+// Over-release clamps (so estimate asymmetries can't wedge a run) but is
+// counted as an accounting bug. Debug builds assert instead, so this
+// exercises release-build behaviour only.
+TEST(MemoryTrackerTest, ReleaseClampsToZeroAndCountsUnderflow) {
   MemoryTracker tracker("t");
   tracker.Charge(10);
   tracker.Release(100);
   EXPECT_EQ(tracker.live_bytes(), 0u);
+  EXPECT_EQ(tracker.underflow_count(), 1u);
+  tracker.Charge(5);
+  tracker.Release(5);
+  EXPECT_EQ(tracker.underflow_count(), 1u);  // balanced pairs don't count
+}
+#endif
+
+// Regression: Charge used fetch_add-then-rollback, publishing a transient
+// over-budget live_ value. A concurrent thread whose own (small) charge
+// fit comfortably could observe the inflated total and throw a spurious
+// SimulatedOom. With CAS reservation, live_ never exceeds the budget, so
+// the small charger below must never throw no matter how the doomed big
+// charges interleave.
+TEST(MemoryTrackerTest, DoomedChargeCannotCauseSpuriousOomElsewhere) {
+  MemoryTracker tracker("t", 1000);
+  tracker.Charge(500);
+  std::atomic<bool> stop{false};
+  std::atomic<int> dooms{0};
+  std::thread big([&] {
+    while (!stop.load()) {
+      try {
+        tracker.Charge(600);  // always over budget: 500 + 600 > 1000
+        FAIL() << "over-budget charge unexpectedly succeeded";
+      } catch (const SimulatedOom&) {
+        dooms.fetch_add(1);
+      }
+    }
+  });
+  for (int i = 0; i < 100000; ++i) {
+    tracker.Charge(100);  // 500 + 100 <= 1000: must always fit
+    tracker.Release(100);
+  }
+  stop.store(true);
+  big.join();
+  EXPECT_GT(dooms.load(), 0);
+  EXPECT_EQ(tracker.live_bytes(), 500u);
+  EXPECT_EQ(tracker.underflow_count(), 0u);
 }
 
 TEST(MemoryTrackerTest, BudgetEnforcedWithSimulatedOom) {
