@@ -24,3 +24,4 @@ set_target_properties(micro_bench PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 s2_bench(ablation_prefix_parallel)
 s2_bench(fault_overhead)
+s2_bench(attr_intern)

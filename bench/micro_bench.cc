@@ -96,11 +96,24 @@ BENCHMARK(BM_BddSerializeRoundTrip);
 
 // ---------------------------------------------------------------- routes
 
+// Benchmark routes intern into a process-lifetime pool (leaked so handles
+// in static benchmark state can never outlive it).
+cp::AttrPool& BenchPool() {
+  static cp::AttrPool* pool = new cp::AttrPool();
+  return *pool;
+}
+
+cp::AttrTuple BenchTuple() {
+  cp::AttrTuple tuple;
+  tuple.as_path = {65001, 65002, 65003, 65004};
+  tuple.communities = {100, 200, 500};
+  return tuple;
+}
+
 cp::Route BenchRoute() {
   cp::Route r;
   r.prefix = util::MustParsePrefix("10.1.2.0/24");
-  r.as_path = {65001, 65002, 65003, 65004};
-  r.communities = {100, 200, 500};
+  r.attrs = BenchPool().Intern(BenchTuple());
   r.learned_from = 3;
   return r;
 }
@@ -112,7 +125,7 @@ void BM_RouteSerializeBatch(benchmark::State& state) {
   for (auto _ : state) {
     std::vector<uint8_t> bytes;
     cp::SerializeRoutes(updates, bytes);
-    benchmark::DoNotOptimize(cp::DeserializeRoutes(bytes));
+    benchmark::DoNotOptimize(cp::DeserializeRoutes(bytes, BenchPool()));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -134,7 +147,8 @@ void BM_RouteMapEvaluation(benchmark::State& state) {
   map.clauses = {deny, tag, all};
   cp::Route route = BenchRoute();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cp::ApplyRouteMap(&map, route, 65000));
+    benchmark::DoNotOptimize(
+        cp::ApplyRouteMap(&map, route, 65000, BenchPool()));
   }
 }
 BENCHMARK(BM_RouteMapEvaluation);
@@ -142,11 +156,19 @@ BENCHMARK(BM_RouteMapEvaluation);
 void BM_BestPathSelection(benchmark::State& state) {
   cp::Rib rib(nullptr);
   const int candidates = static_cast<int>(state.range(0));
+  // Three attribute variants, interned once — the loop measures RIB work,
+  // not interning.
+  std::vector<cp::Route> variants;
+  for (uint32_t v = 0; v < 3; ++v) {
+    cp::Route r = BenchRoute();
+    r.MutateAttrs(BenchPool(),
+                  [&](cp::AttrTuple& t) { t.as_path[0] = 65001 + v; });
+    variants.push_back(std::move(r));
+  }
   for (auto _ : state) {
     for (int n = 0; n < candidates; ++n) {
-      cp::Route r = BenchRoute();
+      cp::Route r = variants[static_cast<size_t>(n) % 3];
       r.learned_from = static_cast<topo::NodeId>(n);
-      r.as_path[0] = 65001 + (n % 3);
       rib.Upsert(r.learned_from, r);
     }
     benchmark::DoNotOptimize(rib.RecomputeDirty(64));
@@ -154,6 +176,66 @@ void BM_BestPathSelection(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * candidates);
 }
 BENCHMARK(BM_BestPathSelection)->Arg(8)->Arg(64);
+
+// ------------------------------------------------------- attribute pool
+
+// Hit path: the tuple is already interned; Intern hashes, takes the pool
+// lock, and bumps a refcount.
+void BM_AttrInternHit(benchmark::State& state) {
+  cp::AttrPool pool;
+  cp::AttrHandle keep = pool.Intern(BenchTuple());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Intern(BenchTuple()));
+  }
+}
+BENCHMARK(BM_AttrInternHit);
+
+// Miss path: every iteration interns a tuple the pool has never seen and
+// immediately drops it, so the cycle is insert + refcount-zero eviction.
+void BM_AttrInternMissEvict(benchmark::State& state) {
+  cp::AttrPool pool;
+  uint32_t n = 0;
+  for (auto _ : state) {
+    cp::AttrTuple tuple = BenchTuple();
+    tuple.med = ++n;
+    benchmark::DoNotOptimize(pool.Intern(std::move(tuple)));
+  }
+}
+BENCHMARK(BM_AttrInternMissEvict);
+
+// Copying an interned Route is a handle copy (one relaxed atomic add) —
+// versus the deep vector copy every Route copy paid before interning.
+void BM_RouteHandleCopy(benchmark::State& state) {
+  cp::Route route = BenchRoute();
+  for (auto _ : state) {
+    cp::Route copy = route;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_RouteHandleCopy);
+
+void BM_RouteDeepAttrCopy(benchmark::State& state) {
+  cp::AttrTuple tuple = BenchTuple();
+  for (auto _ : state) {
+    cp::AttrTuple copy = tuple;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_RouteDeepAttrCopy);
+
+// RIB upsert throughput with interned candidates: the common converged
+// iteration re-offers an identical route (handle-identity equality).
+void BM_RibUpsertSteadyState(benchmark::State& state) {
+  cp::Rib rib(nullptr);
+  cp::Route route = BenchRoute();
+  rib.Upsert(route.learned_from, route);
+  rib.RecomputeDirty(64);
+  for (auto _ : state) {
+    rib.Upsert(route.learned_from, route);
+    benchmark::DoNotOptimize(rib.RecomputeDirty(64));
+  }
+}
+BENCHMARK(BM_RibUpsertSteadyState);
 
 // ----------------------------------------------------- parse & partition
 

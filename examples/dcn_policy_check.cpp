@@ -68,7 +68,7 @@ int main() {
   std::printf("  c0p0-tor0 has 10.2.0.0/16 aggregate: %s (communities:",
               tor_rib.count(big_agg) ? "yes" : "NO");
   if (tor_rib.count(big_agg)) {
-    for (uint32_t c : tor_rib.at(big_agg).front().communities) {
+    for (uint32_t c : tor_rib.at(big_agg).front().communities()) {
       std::printf(" %u", c);
     }
   }
@@ -86,8 +86,8 @@ int main() {
   // though it crossed 6+ devices.
   if (tor_rib.count(big_agg)) {
     std::printf("  AS path of the cross-cluster aggregate (length %zu):",
-                tor_rib.at(big_agg).front().as_path.size());
-    for (uint32_t asn : tor_rib.at(big_agg).front().as_path) {
+                tor_rib.at(big_agg).front().as_path().size());
+    for (uint32_t asn : tor_rib.at(big_agg).front().as_path()) {
       std::printf(" %u", asn);
     }
     std::printf("\n");

@@ -137,8 +137,10 @@ void Manager::OpCache::Insert(uint32_t a, uint32_t b, uint32_t c,
 }
 
 Manager::~Manager() {
-  if (options_.tracker && nodes_.size() > 2) {
-    options_.tracker->Release((nodes_.size() - 2) * kNodeBytes);
+  // Free-list slots were already released by the sweep that freed them;
+  // releasing them again here would underflow the tracker.
+  if (options_.tracker && allocated_nodes() > 2) {
+    options_.tracker->Release((allocated_nodes() - 2) * kNodeBytes);
   }
 }
 
@@ -165,6 +167,10 @@ void Manager::Deref(uint32_t node) {
 
 uint32_t Manager::AllocateSlot() {
   if (!free_list_.empty()) {
+    // A recycled slot re-enters the live set, so it costs budget again —
+    // the GC released its bytes when the slot was freed. Charge before
+    // popping so a SimulatedOom leaves the free list intact.
+    if (options_.tracker) options_.tracker->Charge(kNodeBytes);
     uint32_t slot = free_list_.back();
     free_list_.pop_back();
     --free_count_;

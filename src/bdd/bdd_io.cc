@@ -1,8 +1,10 @@
 #include "bdd/bdd_io.h"
 
-#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <unordered_map>
+
+#include "util/status.h"
 
 namespace s2::bdd {
 
@@ -18,7 +20,10 @@ void PutU32(std::vector<uint8_t>& out, uint32_t v) {
 }
 
 uint32_t GetU32(const std::vector<uint8_t>& in, size_t& pos) {
-  if (pos + 4 > in.size()) std::abort();
+  if (pos + 4 > in.size()) {
+    throw util::WireFormatError("truncated BDD blob at offset " +
+                                std::to_string(pos));
+  }
   uint32_t v = uint32_t{in[pos]} | (uint32_t{in[pos + 1]} << 8) |
                (uint32_t{in[pos + 2]} << 16) | (uint32_t{in[pos + 3]} << 24);
   pos += 4;
@@ -72,11 +77,25 @@ std::vector<uint8_t> Serialize(const Bdd& f) {
 
 Bdd DeserializeInto(Manager& manager, const std::vector<uint8_t>& bytes) {
   size_t pos = 0;
-  if (GetU32(bytes, pos) != kMagic) std::abort();
+  if (GetU32(bytes, pos) != kMagic) {
+    throw util::WireFormatError("bad BDD blob magic");
+  }
   uint32_t wire_vars = GetU32(bytes, pos);
-  if (wire_vars > manager.num_vars()) std::abort();
+  if (wire_vars > manager.num_vars()) {
+    throw util::WireFormatError("BDD blob var count " +
+                                std::to_string(wire_vars) +
+                                " exceeds manager's " +
+                                std::to_string(manager.num_vars()));
+  }
   uint32_t count = GetU32(bytes, pos);
   uint32_t root = GetU32(bytes, pos);
+  // Each node record is 12 bytes; validate against the bytes actually
+  // present before allocating — an absurd count must error, not OOM.
+  if (count > (bytes.size() - pos) / 12) {
+    throw util::WireFormatError("BDD blob node count " +
+                                std::to_string(count) +
+                                " exceeds remaining bytes");
+  }
 
   std::vector<uint32_t> local(count + 2);
   local[0] = Manager::kZero;
@@ -86,11 +105,14 @@ Bdd DeserializeInto(Manager& manager, const std::vector<uint8_t>& bytes) {
     uint32_t low = GetU32(bytes, pos);
     uint32_t high = GetU32(bytes, pos);
     if (var >= manager.num_vars() || low >= i + 2 || high >= i + 2) {
-      std::abort();
+      throw util::WireFormatError("malformed BDD node record " +
+                                  std::to_string(i));
     }
     local[i + 2] = manager.MakeNode(var, local[low], local[high]);
   }
-  if (root >= count + 2) std::abort();
+  if (root >= count + 2) {
+    throw util::WireFormatError("BDD blob root index out of range");
+  }
   return Bdd(&manager, local[root]);
 }
 

@@ -59,7 +59,7 @@ VerifyResult MonoVerifier::Verify(const config::ParsedNetwork& network,
       std::map<util::Ipv4Prefix, std::vector<cp::Route>> from_store;
       const auto* bgp = &node->bgp_routes();
       if (store) {
-        from_store = store->ReadAll(node->id());
+        from_store = store->ReadAll(node->id(), engine_->attr_pool());
         bgp = &from_store;
       }
       dp::Fib fib = dp::Fib::Build(network, node->id(), *bgp,

@@ -8,11 +8,15 @@ namespace s2::cp {
 
 std::optional<Route> TransformForExport(const Route& best,
                                         const config::ViConfig& config,
-                                        const config::BgpNeighbor& session) {
-  PolicyResult result = ApplyRouteMap(
-      config.FindRouteMap(session.export_route_map), best, config.bgp.asn);
-  if (!result.accepted) return std::nullopt;
-  Route route = std::move(result.route);
+                                        const config::BgpNeighbor& session,
+                                        AttrPool& pool) {
+  PolicyEval eval = EvalRouteMap(config.FindRouteMap(session.export_route_map),
+                                 best, config.bgp.asn);
+  if (!eval.accepted) return std::nullopt;
+  // Work on one scratch tuple through the whole export pipeline and
+  // intern exactly once at the end.
+  AttrTuple tuple =
+      eval.attrs_modified ? std::move(eval.tuple) : best.attrs.get();
 
   // AS_PATH: the overwrite set action already produced [own ASN] and
   // supersedes both remove-private-as and the prepend. Otherwise,
@@ -20,32 +24,38 @@ std::optional<Route> TransformForExport(const Route& best,
   // prepend — which is where the §2.1 "ASNs preceding the first
   // non-private one" semantics reads from; then the exporter's ASN is
   // prepended.
-  if (!result.as_path_overwritten) {
+  if (!eval.as_path_overwritten) {
     if (session.remove_private_as) {
-      RemovePrivateAs(route.as_path, config.vendor);
+      RemovePrivateAs(tuple.as_path, config.vendor);
     }
-    route.as_path.insert(route.as_path.begin(), config.bgp.asn);
+    tuple.as_path.insert(tuple.as_path.begin(), config.bgp.asn);
   }
   // eBGP scrubbing: LOCAL_PREF is local to the receiving AS.
-  route.local_pref = 100;
+  tuple.local_pref = 100;
+
+  Route route = best;
   route.protocol = Protocol::kBgp;
+  route.attrs = pool.Intern(std::move(tuple));
   return route;
 }
 
 std::optional<Route> ProcessImport(const Route& received,
                                    const config::ViConfig& config,
                                    const config::BgpNeighbor& session,
-                                   topo::NodeId from) {
+                                   topo::NodeId from, AttrPool& pool) {
   // eBGP loop prevention: reject paths containing our own ASN.
-  if (std::find(received.as_path.begin(), received.as_path.end(),
-                config.bgp.asn) != received.as_path.end()) {
+  const std::vector<uint32_t>& as_path = received.as_path();
+  if (std::find(as_path.begin(), as_path.end(), config.bgp.asn) !=
+      as_path.end()) {
     return std::nullopt;
   }
-  PolicyResult result = ApplyRouteMap(
-      config.FindRouteMap(session.import_route_map), received,
-      config.bgp.asn);
-  if (!result.accepted) return std::nullopt;
-  Route route = std::move(result.route);
+  PolicyEval eval = EvalRouteMap(config.FindRouteMap(session.import_route_map),
+                                 received, config.bgp.asn);
+  if (!eval.accepted) return std::nullopt;
+  Route route = received;
+  if (eval.attrs_modified) {
+    route.attrs = pool.Intern(std::move(eval.tuple));
+  }
   route.learned_from = from;
   route.protocol = Protocol::kBgp;
   return route;

@@ -16,19 +16,24 @@ namespace s2::cp {
 // policy denies the route. Applies, in order: export route-map (sets may
 // overwrite the AS_PATH), AS prepend (unless overwritten), remove-private-as
 // with the exporter's vendor semantics, and eBGP attribute scrubbing
-// (LOCAL_PREF is not transmitted across eBGP).
+// (LOCAL_PREF is not transmitted across eBGP). The transformed attribute
+// tuple is interned into `pool` (the exporting domain's) — once, after
+// every edit is applied.
 std::optional<Route> TransformForExport(const Route& best,
                                         const config::ViConfig& config,
-                                        const config::BgpNeighbor& session);
+                                        const config::BgpNeighbor& session,
+                                        AttrPool& pool);
 
 // Processes a route received from `session` on the importing device
 // `config`. Returns nullopt when rejected (AS-path loop or import policy
 // deny) — which callers must treat as a withdrawal of any previous
-// candidate from that neighbor. `from` is the sending device.
+// candidate from that neighbor. `from` is the sending device. With no
+// import policy edits the received route's interned handle is reused
+// without touching `pool`.
 std::optional<Route> ProcessImport(const Route& received,
                                    const config::ViConfig& config,
                                    const config::BgpNeighbor& session,
-                                   topo::NodeId from);
+                                   topo::NodeId from, AttrPool& pool);
 
 // True if `prefix` must be suppressed on export because a summary-only
 // aggregate on `config` covers it (strictly more specific than the

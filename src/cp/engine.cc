@@ -6,10 +6,11 @@ namespace s2::cp {
 
 MonoEngine::MonoEngine(const config::ParsedNetwork& network,
                        util::MemoryTracker* tracker, EngineOptions options)
-    : network_(&network), tracker_(tracker), options_(options) {
+    : network_(&network), tracker_(tracker), options_(options),
+      pool_(tracker) {
   nodes_.reserve(network.configs.size());
   for (topo::NodeId id = 0; id < network.configs.size(); ++id) {
-    nodes_.push_back(std::make_unique<Node>(id, network, tracker));
+    nodes_.push_back(std::make_unique<Node>(id, network, tracker, &pool_));
   }
 }
 

@@ -53,6 +53,10 @@ class MonoEngine {
   Node& node(topo::NodeId id) { return *nodes_[id]; }
   const EngineStats& stats() const { return stats_; }
 
+  // The engine's attribute-interning domain (diagnostics / benchmarks).
+  const AttrPool& attr_pool() const { return pool_; }
+  AttrPool& attr_pool() { return pool_; }
+
  private:
   // Runs synchronous rounds until the fix point; returns rounds executed.
   int RunRounds();
@@ -60,6 +64,9 @@ class MonoEngine {
   const config::ParsedNetwork* network_;
   util::MemoryTracker* tracker_;
   EngineOptions options_;
+  // Declared before nodes_: nodes release their interned handles on
+  // destruction, so the pool must be destroyed last.
+  AttrPool pool_;
   std::vector<std::unique_ptr<Node>> nodes_;
   EngineStats stats_;
 };

@@ -1,14 +1,17 @@
 #include "cp/node.h"
 
-#include <cstdlib>
-
 #include "cp/ospf.h"
+#include "util/status.h"
 
 namespace s2::cp {
 
 Node::Node(topo::NodeId id, const config::ParsedNetwork& network,
-           util::MemoryTracker* tracker)
-    : id_(id), network_(&network), tracker_(tracker), rib_(tracker) {
+           util::MemoryTracker* tracker, AttrPool* pool)
+    : id_(id),
+      network_(&network),
+      tracker_(tracker),
+      pool_(pool),
+      rib_(tracker, pool) {
   for (const config::BgpNeighbor& neighbor : config().bgp.neighbors) {
     Session session;
     session.neighbor = &neighbor;
@@ -31,11 +34,17 @@ Node::~Node() {
   ReleaseResults(bgp_results_);
 }
 
+void Node::ChargeResult(const Route& route) {
+  if (tracker_) tracker_->Charge(route.UniqueBytes());
+  if (pool_) pool_->ChargePlain(route.PlainBytes());
+}
+
 void Node::ReleaseResults(
     std::map<util::Ipv4Prefix, std::vector<Route>>& results) {
-  if (tracker_) {
-    for (const auto& [prefix, routes] : results) {
-      for (const Route& r : routes) tracker_->Release(r.EstimateBytes());
+  for (const auto& [prefix, routes] : results) {
+    for (const Route& r : routes) {
+      if (tracker_) tracker_->Release(r.UniqueBytes());
+      if (pool_) pool_->ReleasePlain(r.PlainBytes());
     }
   }
   results.clear();
@@ -45,9 +54,7 @@ void Node::FinishOspf() {
   ReleaseResults(ospf_results_);
   for (const auto& [prefix, routes] : rib_.all_best()) {
     ospf_results_[prefix] = routes;
-    if (tracker_) {
-      for (const Route& r : routes) tracker_->Charge(r.EstimateBytes());
-    }
+    for (const Route& r : routes) ChargeResult(r);
   }
   rib_.Clear();
   outbox_.clear();
@@ -70,18 +77,20 @@ void Node::OriginateStatic() {
       Route route;
       route.prefix = prefix;
       route.protocol = Protocol::kLocal;
-      route.origin = 2;  // incomplete
-      route.med = routes.front().metric;
+      AttrTuple tuple;
+      tuple.origin = 2;  // incomplete
+      tuple.med = routes.front().metric;
+      route.attrs = pool_->Intern(std::move(tuple));
       route.origin_node = id_;
       rib_.Upsert(topo::kInvalidNode, route);
     }
   }
   for (const util::Ipv4Prefix& prefix : config().bgp.networks) {
     if (!InShard(prefix)) continue;
+    // Default attributes (origin IGP) — the null handle, no intern needed.
     Route route;
     route.prefix = prefix;
     route.protocol = Protocol::kLocal;
-    route.origin = 0;
     route.origin_node = id_;
     rib_.Upsert(topo::kInvalidNode, route);
   }
@@ -94,10 +103,13 @@ void Node::RefreshConditional() {
       Route route;
       route.prefix = agg.prefix;
       route.protocol = Protocol::kLocal;
-      route.origin = 0;
       route.origin_node = id_;
-      for (uint32_t community : agg.communities) {
-        route.AddCommunity(community);
+      if (!agg.communities.empty()) {
+        AttrTuple tuple;
+        for (uint32_t community : agg.communities) {
+          tuple.AddCommunity(community);
+        }
+        route.attrs = pool_->Intern(std::move(tuple));
       }
       rib_.Upsert(topo::kInvalidNode, route);
     } else {
@@ -111,7 +123,6 @@ void Node::RefreshConditional() {
       Route route;
       route.prefix = cond.advertise;
       route.protocol = Protocol::kLocal;
-      route.origin = 0;
       route.origin_node = id_;
       rib_.Upsert(topo::kInvalidNode, route);
     } else {
@@ -142,7 +153,7 @@ bool Node::ComputeRound() {
         if (!suppressed && !split_horizon) {
           if (pass_ == Pass::kBgp) {
             auto exported =
-                TransformForExport(top, config(), *session.neighbor);
+                TransformForExport(top, config(), *session.neighbor, *pool_);
             if (exported) {
               update.withdraw = false;
               update.route = std::move(*exported);
@@ -183,7 +194,8 @@ void Node::ReceiveUpdates(topo::NodeId from,
       continue;
     }
     if (pass_ == Pass::kBgp) {
-      auto imported = ProcessImport(update.route, config(), *session, from);
+      auto imported =
+          ProcessImport(update.route, config(), *session, from, *pool_);
       if (imported) {
         rib_.Upsert(from, *imported);
       } else {
@@ -217,23 +229,34 @@ std::vector<RouteUpdate> FlattenResults(
 }  // namespace
 
 void Node::SerializeState(std::vector<uint8_t>& out) const {
-  out.push_back(static_cast<uint8_t>(pass_));
-  rib_.SerializeState(out);
-  PutRoutesSection(out, FlattenResults(ospf_results_));
-  PutRoutesSection(out, FlattenResults(bgp_results_));
+  // One attribute table for the whole blob, shared by every route section
+  // (candidates, best sets, results): serialize the sections into a
+  // scratch body while the builder collects distinct tuples, then emit
+  // table followed by body.
+  AttrTableBuilder table;
+  std::vector<uint8_t> body;
+  body.push_back(static_cast<uint8_t>(pass_));
+  rib_.SerializeState(body, table);
+  PutRoutesSection(body, FlattenResults(ospf_results_), table);
+  PutRoutesSection(body, FlattenResults(bgp_results_), table);
+  table.Serialize(out);
+  out.insert(out.end(), body.begin(), body.end());
 }
 
 void Node::RestoreState(const std::vector<uint8_t>& bytes,
                         const PrefixSet* shard) {
   size_t pos = 0;
-  if (bytes.empty()) std::abort();
+  AttrTable table = AttrTable::Read(bytes, pos, *pool_);
+  if (pos >= bytes.size()) {
+    throw util::WireFormatError("truncated node checkpoint");
+  }
   pass_ = static_cast<Pass>(bytes[pos++]);
   shard_ = pass_ == Pass::kBgp ? shard : nullptr;
-  rib_.RestoreState(bytes, pos);
+  rib_.RestoreState(bytes, pos, table);
   auto restore_results =
       [&](std::map<util::Ipv4Prefix, std::vector<Route>>& results) {
-        for (RouteUpdate& update : GetRoutesSection(bytes, pos)) {
-          if (tracker_) tracker_->Charge(update.route.EstimateBytes());
+        for (RouteUpdate& update : GetRoutesSection(bytes, pos, table)) {
+          ChargeResult(update.route);
           results[update.prefix].push_back(std::move(update.route));
         }
       };
@@ -242,7 +265,7 @@ void Node::RestoreState(const std::vector<uint8_t>& bytes,
 }
 
 void Node::SpillBgp(RibStore& store, int shard) {
-  store.Write(shard, id_, rib_.all_best());
+  store.Write(shard, id_, rib_.all_best(), pool_);
   rib_.Clear();
   outbox_.clear();
   pass_ = Pass::kIdle;
@@ -251,9 +274,7 @@ void Node::SpillBgp(RibStore& store, int shard) {
 void Node::RetainBgp() {
   for (const auto& [prefix, routes] : rib_.all_best()) {
     bgp_results_[prefix] = routes;
-    if (tracker_) {
-      for (const Route& r : routes) tracker_->Charge(r.EstimateBytes());
-    }
+    for (const Route& r : routes) ChargeResult(r);
   }
   rib_.Clear();
   outbox_.clear();

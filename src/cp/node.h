@@ -32,10 +32,12 @@ using PrefixSet = std::unordered_set<util::Ipv4Prefix>;
 
 class Node {
  public:
-  // `network` and `tracker` must outlive the node. The tracker is the
-  // owning domain's (worker or monolithic process).
+  // `network`, `tracker` and `pool` must outlive the node. Tracker and
+  // pool are the owning domain's (worker or monolithic process): every
+  // route the node holds is charged to the tracker, every attribute tuple
+  // it creates is interned in the pool.
   Node(topo::NodeId id, const config::ParsedNetwork& network,
-       util::MemoryTracker* tracker);
+       util::MemoryTracker* tracker, AttrPool* pool);
   ~Node();
 
   Node(const Node&) = delete;
@@ -111,6 +113,7 @@ class Node {
  private:
   void OriginateStatic();      // network statements + redistribution
   void RefreshConditional();   // aggregates + conditional advertisements
+  void ChargeResult(const Route& route);
   void ReleaseResults(std::map<util::Ipv4Prefix, std::vector<Route>>&
                           results);
   bool InShard(const util::Ipv4Prefix& prefix) const {
@@ -120,6 +123,7 @@ class Node {
   topo::NodeId id_;
   const config::ParsedNetwork* network_;
   util::MemoryTracker* tracker_;
+  AttrPool* pool_;
   std::vector<Session> sessions_;
 
   Pass pass_ = Pass::kIdle;

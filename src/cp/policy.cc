@@ -6,15 +6,15 @@ namespace s2::cp {
 
 namespace {
 
-bool ClauseMatches(const config::RouteMapClause& clause, const Route& route) {
-  if (clause.match_covered_by &&
-      !clause.match_covered_by->Contains(route.prefix)) {
+bool ClauseMatches(const config::RouteMapClause& clause,
+                   const util::Ipv4Prefix& prefix, const AttrTuple& attrs) {
+  if (clause.match_covered_by && !clause.match_covered_by->Contains(prefix)) {
     return false;
   }
   if (!clause.match_any_community.empty()) {
     bool any = false;
     for (uint32_t community : clause.match_any_community) {
-      if (route.HasCommunity(community)) {
+      if (attrs.HasCommunity(community)) {
         any = true;
         break;
       }
@@ -24,48 +24,55 @@ bool ClauseMatches(const config::RouteMapClause& clause, const Route& route) {
   return true;
 }
 
-void ApplySets(const config::RouteMapClause& clause, PolicyResult& result,
-               uint32_t own_asn) {
-  Route& route = result.route;
-  if (clause.set_local_pref) route.local_pref = *clause.set_local_pref;
-  if (clause.set_med) route.med = *clause.set_med;
-  for (uint32_t community : clause.add_communities) {
-    route.AddCommunity(community);
-  }
-  for (uint32_t community : clause.delete_communities) {
-    auto it = std::lower_bound(route.communities.begin(),
-                               route.communities.end(), community);
-    if (it != route.communities.end() && *it == community) {
-      route.communities.erase(it);
-    }
-  }
-  if (clause.as_path_prepend > 0) {
-    route.as_path.insert(route.as_path.begin(), clause.as_path_prepend,
-                         own_asn);
-  }
-  if (clause.set_as_path_overwrite) {
-    route.as_path = {own_asn};
-    result.as_path_overwritten = true;
-  }
-}
-
 }  // namespace
 
-PolicyResult ApplyRouteMap(const config::RouteMap* map, const Route& route,
-                           uint32_t own_asn) {
-  PolicyResult result;
-  result.route = route;
+PolicyEval EvalRouteMap(const config::RouteMap* map, const Route& route,
+                        uint32_t own_asn) {
+  PolicyEval result;
   if (map == nullptr) {
     result.accepted = true;
     return result;
   }
+  // Copy-on-write scratch: `current` reads through the route's interned
+  // tuple until the first set action forces a private copy.
+  const AttrTuple* current = &route.attrs.get();
+  auto scratch = [&]() -> AttrTuple& {
+    if (!result.attrs_modified) {
+      result.tuple = *current;
+      current = &result.tuple;
+      result.attrs_modified = true;
+    }
+    return result.tuple;
+  };
   for (const config::RouteMapClause& clause : map->clauses) {
-    if (!ClauseMatches(clause, result.route)) continue;
+    // Matches read the accumulated sets of earlier continue clauses.
+    if (!ClauseMatches(clause, route.prefix, *current)) continue;
     if (!clause.permit) {
       result.accepted = false;
       return result;  // denied
     }
-    ApplySets(clause, result, own_asn);
+    if (clause.set_local_pref) scratch().local_pref = *clause.set_local_pref;
+    if (clause.set_med) scratch().med = *clause.set_med;
+    for (uint32_t community : clause.add_communities) {
+      scratch().AddCommunity(community);
+    }
+    for (uint32_t community : clause.delete_communities) {
+      AttrTuple& tuple = scratch();
+      auto it = std::lower_bound(tuple.communities.begin(),
+                                 tuple.communities.end(), community);
+      if (it != tuple.communities.end() && *it == community) {
+        tuple.communities.erase(it);
+      }
+    }
+    if (clause.as_path_prepend > 0) {
+      AttrTuple& tuple = scratch();
+      tuple.as_path.insert(tuple.as_path.begin(), clause.as_path_prepend,
+                           own_asn);
+    }
+    if (clause.set_as_path_overwrite) {
+      scratch().as_path = {own_asn};
+      result.as_path_overwritten = true;
+    }
     if (!clause.continue_next) {
       result.accepted = true;
       return result;
@@ -76,6 +83,21 @@ PolicyResult ApplyRouteMap(const config::RouteMap* map, const Route& route,
     // followed only by non-matching clauses. Cisco semantics: the route is
     // permitted if the last matched clause was a permit. Track that.
     result.accepted = true;
+  }
+  return result;
+}
+
+PolicyResult ApplyRouteMap(const config::RouteMap* map, const Route& route,
+                           uint32_t own_asn, AttrPool& pool) {
+  PolicyEval eval = EvalRouteMap(map, route, own_asn);
+  PolicyResult result;
+  result.accepted = eval.accepted;
+  result.as_path_overwritten = eval.as_path_overwritten;
+  if (eval.accepted) {
+    result.route = route;
+    if (eval.attrs_modified) {
+      result.route.attrs = pool.Intern(std::move(eval.tuple));
+    }
   }
   return result;
 }

@@ -1,6 +1,12 @@
 // Route-map evaluation: the policy half of the switch model. Applies a
 // vendor-independent RouteMap to a route, implementing first-match-wins
 // with continue/next-term accumulation and the implicit trailing deny.
+//
+// Evaluation is tuple-level and copy-on-write: set actions edit a scratch
+// AttrTuple copied lazily on the first modification, and the caller
+// interns the result only when something actually changed — an accepted
+// route with no set actions keeps its existing interned handle and never
+// touches the pool.
 #pragma once
 
 #include "config/vi_model.h"
@@ -8,18 +14,33 @@
 
 namespace s2::cp {
 
-struct PolicyResult {
+// The tuple-level result. When `accepted` and `attrs_modified`, `tuple`
+// holds the transformed attributes awaiting interning; when accepted but
+// unmodified the input route's handle is reusable as-is.
+struct PolicyEval {
   bool accepted = false;
   // True when a matched clause applied set as-path overwrite; exporters
   // must then skip the usual AS prepend.
   bool as_path_overwritten = false;
+  bool attrs_modified = false;
+  AttrTuple tuple;
+};
+
+// Evaluates `map` against `route`. `own_asn` feeds prepend/overwrite sets.
+// A null map accepts the route unchanged (no policy configured).
+PolicyEval EvalRouteMap(const config::RouteMap* map, const Route& route,
+                        uint32_t own_asn);
+
+struct PolicyResult {
+  bool accepted = false;
+  bool as_path_overwritten = false;
   Route route;  // the transformed route when accepted
 };
 
-// Evaluates `map` against `route`. `own_asn` feeds set as-path overwrite.
-// A null map accepts the route unchanged (no policy configured).
+// Route-level convenience over EvalRouteMap: interns a modified tuple
+// into `pool`, reuses the input handle otherwise.
 PolicyResult ApplyRouteMap(const config::RouteMap* map, const Route& route,
-                           uint32_t own_asn);
+                           uint32_t own_asn, AttrPool& pool);
 
 // remove-private-as with vendor-specific semantics (§2.1):
 //   Alpha strips every private ASN from the path;

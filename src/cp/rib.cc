@@ -11,25 +11,34 @@
 namespace s2::cp {
 
 void Rib::ChargeRoute(const Route& route) {
-  if (tracker_) tracker_->Charge(route.EstimateBytes());
+  // Amortized accounting: the copy's fixed footprint only — the shared
+  // tuple bytes are charged once by the AttrPool on first intern. The
+  // pool's shadow counters track what the pre-flyweight layout would
+  // have charged (DESIGN.md §4).
+  if (tracker_) tracker_->Charge(route.UniqueBytes());
+  if (pool_) pool_->ChargePlain(route.PlainBytes());
 }
 
 void Rib::ReleaseRoute(const Route& route) {
-  if (tracker_) tracker_->Release(route.EstimateBytes());
+  if (tracker_) tracker_->Release(route.UniqueBytes());
+  if (pool_) pool_->ReleasePlain(route.PlainBytes());
 }
 
 void Rib::Upsert(topo::NodeId from, const Route& route) {
   auto& per_neighbor = candidates_[route.prefix];
   auto it = per_neighbor.find(from);
+  if (it != per_neighbor.end() && it->second == route) return;  // unchanged
+  // Charge before mutating: a SimulatedOom mid-upsert must leave the maps
+  // and the accounting consistent, or Clear() releases bytes that were
+  // never charged (caught by the assertions CI leg).
+  ChargeRoute(route);
   if (it != per_neighbor.end()) {
-    if (it->second == route) return;  // unchanged
     ReleaseRoute(it->second);
     it->second = route;
   } else {
     per_neighbor.emplace(from, route);
     ++candidate_count_;
   }
-  ChargeRoute(route);
   dirty_.insert(route.prefix);
 }
 
@@ -73,10 +82,20 @@ std::vector<util::Ipv4Prefix> Rib::RecomputeDirty(int max_paths) {
         changed.push_back(prefix);
       }
     } else if (!had || best_it->second != selected) {
+      // Charge the new set before releasing the old: on SimulatedOom the
+      // partial charges are rolled back and best_ is untouched.
+      size_t charged = 0;
+      try {
+        for (; charged < selected.size(); ++charged) {
+          ChargeRoute(selected[charged]);
+        }
+      } catch (...) {
+        for (size_t i = 0; i < charged; ++i) ReleaseRoute(selected[i]);
+        throw;
+      }
       if (had) {
         for (const Route& r : best_it->second) ReleaseRoute(r);
       }
-      for (const Route& r : selected) ChargeRoute(r);
       best_[prefix] = std::move(selected);
       changed.push_back(prefix);
     }
@@ -108,7 +127,8 @@ bool Rib::HasContributor(const util::Ipv4Prefix& prefix) const {
   return false;
 }
 
-void Rib::SerializeState(std::vector<uint8_t>& out) const {
+void Rib::SerializeState(std::vector<uint8_t>& out,
+                         AttrTableBuilder& table) const {
   // Candidates, grouped by contributing neighbor (map order on both levels
   // keeps the bytes deterministic).
   std::map<topo::NodeId, std::vector<RouteUpdate>> by_neighbor;
@@ -120,7 +140,7 @@ void Rib::SerializeState(std::vector<uint8_t>& out) const {
   PutWireU32(out, static_cast<uint32_t>(by_neighbor.size()));
   for (const auto& [from, updates] : by_neighbor) {
     PutWireU32(out, from);
-    PutRoutesSection(out, updates);
+    PutRoutesSection(out, updates, table);
   }
   // Best/ECMP sets, flattened in (prefix, rank) order.
   std::vector<RouteUpdate> best;
@@ -129,7 +149,7 @@ void Rib::SerializeState(std::vector<uint8_t>& out) const {
       best.push_back(RouteUpdate{prefix, false, route});
     }
   }
-  PutRoutesSection(out, best);
+  PutRoutesSection(out, best, table);
   // Dirty prefixes, encoded as withdraw entries (sorted: the set itself is
   // unordered and checkpoint bytes should not depend on hashing).
   std::vector<util::Ipv4Prefix> dirty(dirty_.begin(), dirty_.end());
@@ -139,24 +159,25 @@ void Rib::SerializeState(std::vector<uint8_t>& out) const {
   for (const util::Ipv4Prefix& prefix : dirty) {
     marks.push_back(RouteUpdate{prefix, true, Route{}});
   }
-  PutRoutesSection(out, marks);
+  PutRoutesSection(out, marks, table);
 }
 
-void Rib::RestoreState(const std::vector<uint8_t>& bytes, size_t& pos) {
+void Rib::RestoreState(const std::vector<uint8_t>& bytes, size_t& pos,
+                       const AttrTable& table) {
   uint32_t groups = GetWireU32(bytes, pos);
   for (uint32_t g = 0; g < groups; ++g) {
     topo::NodeId from = GetWireU32(bytes, pos);
-    for (RouteUpdate& update : GetRoutesSection(bytes, pos)) {
-      candidates_[update.prefix].emplace(from, update.route);
+    for (RouteUpdate& update : GetRoutesSection(bytes, pos, table)) {
       ChargeRoute(update.route);
+      candidates_[update.prefix].emplace(from, std::move(update.route));
       ++candidate_count_;
     }
   }
-  for (RouteUpdate& update : GetRoutesSection(bytes, pos)) {
+  for (RouteUpdate& update : GetRoutesSection(bytes, pos, table)) {
     ChargeRoute(update.route);
     best_[update.prefix].push_back(std::move(update.route));
   }
-  for (const RouteUpdate& update : GetRoutesSection(bytes, pos)) {
+  for (const RouteUpdate& update : GetRoutesSection(bytes, pos, table)) {
     dirty_.insert(update.prefix);
   }
 }
@@ -193,7 +214,8 @@ RibStore::~RibStore() {
 
 void RibStore::Write(
     int shard, topo::NodeId node,
-    const std::map<util::Ipv4Prefix, std::vector<Route>>& best) {
+    const std::map<util::Ipv4Prefix, std::vector<Route>>& best,
+    AttrPool* stats_pool) {
   std::vector<RouteUpdate> updates;
   for (const auto& [prefix, routes] : best) {
     for (const Route& route : routes) {
@@ -201,7 +223,7 @@ void RibStore::Write(
     }
   }
   std::vector<uint8_t> bytes;
-  SerializeRoutes(updates, bytes);
+  SerializeRoutes(updates, bytes, stats_pool);
   auto path = dir_ / (std::to_string(shard) + "-" + std::to_string(node) +
                       ".rib");
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -215,7 +237,7 @@ void RibStore::Write(
 }
 
 std::map<util::Ipv4Prefix, std::vector<Route>> RibStore::ReadAll(
-    topo::NodeId node) const {
+    topo::NodeId node, AttrPool& pool) const {
   std::map<util::Ipv4Prefix, std::vector<Route>> merged;
   std::vector<std::pair<int, topo::NodeId>> entries;
   {
@@ -234,7 +256,7 @@ std::map<util::Ipv4Prefix, std::vector<Route>> RibStore::ReadAll(
     in.seekg(0);
     in.read(reinterpret_cast<char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
-    for (RouteUpdate& update : DeserializeRoutes(bytes)) {
+    for (RouteUpdate& update : DeserializeRoutes(bytes, pool)) {
       merged[update.prefix].push_back(std::move(update.route));
     }
   }

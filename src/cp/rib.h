@@ -24,9 +24,16 @@ namespace s2::cp {
 // A RIB for one protocol on one node. Neighbors contribute at most one
 // candidate per prefix (standard BGP advertises only its best); locally
 // originated state uses learned_from = kInvalidNode.
+//
+// With hash-consed attributes each stored Route is charged only its fixed
+// footprint (Route::UniqueBytes) — the shared tuple bytes are the owning
+// AttrPool's to account. The pool pointer (may be null) additionally
+// mirrors every charge into the pool's shadow pre-flyweight counters so
+// benchmarks can report the reduction (DESIGN.md §4).
 class Rib {
  public:
-  explicit Rib(util::MemoryTracker* tracker) : tracker_(tracker) {}
+  explicit Rib(util::MemoryTracker* tracker, AttrPool* pool = nullptr)
+      : tracker_(tracker), pool_(pool) {}
   ~Rib() { Clear(); }
 
   Rib(const Rib&) = delete;
@@ -75,9 +82,13 @@ class Rib {
   // all three makes post-crash replay reproduce the exact export deltas of
   // the lost rounds (restoring candidates alone would lose the pending
   // withdrawals of prefixes that went bestless just before a barrier).
-  void SerializeState(std::vector<uint8_t>& out) const;
+  // The attribute table is the enclosing blob's (one per node checkpoint),
+  // shared across all its route sections.
+  void SerializeState(std::vector<uint8_t>& out,
+                      AttrTableBuilder& table) const;
   // Restores into an empty RIB, charging the tracker for every route.
-  void RestoreState(const std::vector<uint8_t>& bytes, size_t& pos);
+  void RestoreState(const std::vector<uint8_t>& bytes, size_t& pos,
+                    const AttrTable& table);
 
   // Drops all state (end of a shard round: results were spilled), releasing
   // the accounted memory.
@@ -88,6 +99,7 @@ class Rib {
   void ReleaseRoute(const Route& route);
 
   util::MemoryTracker* tracker_;
+  AttrPool* pool_;
   // prefix -> neighbor -> candidate. Ordered maps keep iteration (and thus
   // everything downstream) deterministic.
   std::map<util::Ipv4Prefix, std::map<topo::NodeId, Route>> candidates_;
@@ -111,12 +123,16 @@ class RibStore {
 
   // Thread-safe: workers spill concurrently; each (shard, node) pair is
   // written by exactly one worker, so only the bookkeeping is shared.
+  // `stats_pool` (may be null) is credited with the batch's attribute
+  // dedup effect.
   void Write(int shard, topo::NodeId node,
-             const std::map<util::Ipv4Prefix, std::vector<Route>>& best);
+             const std::map<util::Ipv4Prefix, std::vector<Route>>& best,
+             AttrPool* stats_pool = nullptr);
 
-  // Reads every shard's routes for `node`, merged into one map.
+  // Reads every shard's routes for `node`, merged into one map; attribute
+  // tuples are re-interned into `pool` (the reading domain's).
   std::map<util::Ipv4Prefix, std::vector<Route>> ReadAll(
-      topo::NodeId node) const;
+      topo::NodeId node, AttrPool& pool) const;
 
   size_t bytes_written() const { return bytes_written_; }
   size_t routes_written() const { return routes_written_; }

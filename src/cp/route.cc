@@ -1,7 +1,8 @@
 #include "cp/route.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "util/status.h"
 
 namespace s2::cp {
 
@@ -19,45 +20,41 @@ uint32_t AdminDistance(Protocol protocol) {
   return 255;
 }
 
-bool Route::HasCommunity(uint32_t community) const {
-  return std::binary_search(communities.begin(), communities.end(),
-                            community);
-}
-
-void Route::AddCommunity(uint32_t community) {
-  auto it = std::lower_bound(communities.begin(), communities.end(),
-                             community);
-  if (it == communities.end() || *it != community) {
-    communities.insert(it, community);
-  }
-}
-
-size_t Route::EstimateBytes() const {
-  return 150 + 4 * as_path.size() + 4 * communities.size();
-}
-
 bool BetterRoute(const Route& a, const Route& b) {
   uint32_t ad_a = AdminDistance(a.protocol), ad_b = AdminDistance(b.protocol);
   if (ad_a != ad_b) return ad_a < ad_b;
   if (a.protocol == Protocol::kOspf && b.protocol == Protocol::kOspf) {
     if (a.metric != b.metric) return a.metric < b.metric;
   }
-  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
-  if (a.as_path.size() != b.as_path.size()) {
-    return a.as_path.size() < b.as_path.size();
+  // Shared attr entry: every attribute comparison ties, skip to the
+  // provenance tie-breaks. Entry identity never decides an ordering.
+  const bool same_attrs = a.attrs.SameEntry(b.attrs);
+  if (!same_attrs) {
+    const AttrTuple& ta = *a.attrs;
+    const AttrTuple& tb = *b.attrs;
+    if (ta.local_pref != tb.local_pref) return ta.local_pref > tb.local_pref;
+    if (ta.as_path.size() != tb.as_path.size()) {
+      return ta.as_path.size() < tb.as_path.size();
+    }
+    if (ta.origin != tb.origin) return ta.origin < tb.origin;
+    if (ta.med != tb.med) return ta.med < tb.med;
   }
-  if (a.origin != b.origin) return a.origin < b.origin;
-  if (a.med != b.med) return a.med < b.med;
   if (a.learned_from != b.learned_from) return a.learned_from < b.learned_from;
   if (a.origin_node != b.origin_node) return a.origin_node < b.origin_node;
-  return a.as_path < b.as_path;
+  return !same_attrs && a.as_path() < b.as_path();
 }
 
 bool EcmpEquivalent(const Route& a, const Route& b) {
-  return AdminDistance(a.protocol) == AdminDistance(b.protocol) &&
-         a.local_pref == b.local_pref &&
-         a.as_path.size() == b.as_path.size() && a.origin == b.origin &&
-         a.med == b.med && a.metric == b.metric;
+  if (AdminDistance(a.protocol) != AdminDistance(b.protocol) ||
+      a.metric != b.metric) {
+    return false;
+  }
+  if (a.attrs.SameEntry(b.attrs)) return true;
+  const AttrTuple& ta = *a.attrs;
+  const AttrTuple& tb = *b.attrs;
+  return ta.local_pref == tb.local_pref &&
+         ta.as_path.size() == tb.as_path.size() && ta.origin == tb.origin &&
+         ta.med == tb.med;
 }
 
 void PutWireU32(std::vector<uint8_t>& out, uint32_t v) {
@@ -68,7 +65,10 @@ void PutWireU32(std::vector<uint8_t>& out, uint32_t v) {
 }
 
 uint32_t GetWireU32(const std::vector<uint8_t>& in, size_t& pos) {
-  if (pos + 4 > in.size()) std::abort();
+  if (pos + 4 > in.size()) {
+    throw util::WireFormatError("truncated u32 at offset " +
+                                std::to_string(pos));
+  }
   uint32_t v = uint32_t{in[pos]} | (uint32_t{in[pos + 1]} << 8) |
                (uint32_t{in[pos + 2]} << 16) | (uint32_t{in[pos + 3]} << 24);
   pos += 4;
@@ -83,6 +83,14 @@ uint32_t GetU32(const std::vector<uint8_t>& in, size_t& pos) {
   return GetWireU32(in, pos);
 }
 
+uint8_t GetU8(const std::vector<uint8_t>& in, size_t& pos) {
+  if (pos >= in.size()) {
+    throw util::WireFormatError("truncated u8 at offset " +
+                                std::to_string(pos));
+  }
+  return in[pos++];
+}
+
 void PutU32List(std::vector<uint8_t>& out, const std::vector<uint32_t>& v) {
   PutU32(out, static_cast<uint32_t>(v.size()));
   for (uint32_t x : v) PutU32(out, x);
@@ -91,16 +99,44 @@ void PutU32List(std::vector<uint8_t>& out, const std::vector<uint32_t>& v) {
 std::vector<uint32_t> GetU32List(const std::vector<uint8_t>& in,
                                  size_t& pos) {
   uint32_t n = GetU32(in, pos);
+  // Validate the length against the bytes actually present before
+  // reserving: an absurd length field must error, not allocate.
+  if (n > (in.size() - pos) / 4) {
+    throw util::WireFormatError("u32 list of " + std::to_string(n) +
+                                " exceeds " +
+                                std::to_string(in.size() - pos) +
+                                " remaining bytes");
+  }
   std::vector<uint32_t> v;
   v.reserve(n);
   for (uint32_t i = 0; i < n; ++i) v.push_back(GetU32(in, pos));
   return v;
 }
 
-}  // namespace
+// Inline encoding cost of one tuple's attributes in the pre-table format:
+// local_pref + med (4 each), origin (1), two length-prefixed u32 lists.
+size_t InlineAttrBytes(const AttrTuple& tuple) {
+  return 17 + 4 * tuple.as_path.size() + 4 * tuple.communities.size();
+}
 
-void SerializeRoutes(const std::vector<RouteUpdate>& updates,
-                     std::vector<uint8_t>& out) {
+void PutTuple(std::vector<uint8_t>& out, const AttrTuple& tuple) {
+  PutU32(out, tuple.local_pref);
+  PutU32(out, tuple.med);
+  out.push_back(tuple.origin);
+  PutU32List(out, tuple.as_path);
+  PutU32List(out, tuple.communities);
+}
+
+// The smallest possible wire footprints, used to validate counts before
+// reserving (every tuple is at least 17 bytes, every route entry at least
+// 6 — a withdraw).
+constexpr size_t kMinTupleBytes = 17;
+constexpr size_t kMinRouteBytes = 6;
+
+// Routes-only body: count + entries referencing `table` by index.
+void PutRoutesBody(std::vector<uint8_t>& out,
+                   const std::vector<RouteUpdate>& updates,
+                   AttrTableBuilder& table) {
   PutU32(out, static_cast<uint32_t>(updates.size()));
   for (const RouteUpdate& update : updates) {
     PutU32(out, update.prefix.address().bits());
@@ -109,64 +145,161 @@ void SerializeRoutes(const std::vector<RouteUpdate>& updates,
     if (update.withdraw) continue;
     const Route& r = update.route;
     out.push_back(static_cast<uint8_t>(r.protocol));
-    out.push_back(r.origin);
-    PutU32(out, r.local_pref);
-    PutU32(out, r.med);
     PutU32(out, r.metric);
     PutU32(out, r.origin_node);
     PutU32(out, r.learned_from);
-    PutU32List(out, r.as_path);
-    PutU32List(out, r.communities);
+    PutU32(out, table.IndexOf(r));
   }
 }
 
-std::vector<RouteUpdate> DeserializeRoutes(
-    const std::vector<uint8_t>& bytes) {
-  size_t pos = 0;
+std::vector<RouteUpdate> GetRoutesBody(const std::vector<uint8_t>& bytes,
+                                       size_t& pos, const AttrTable& table) {
   uint32_t count = GetU32(bytes, pos);
+  if (count > (bytes.size() - pos) / kMinRouteBytes) {
+    throw util::WireFormatError("route count " + std::to_string(count) +
+                                " exceeds remaining bytes");
+  }
   std::vector<RouteUpdate> updates;
   updates.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     RouteUpdate update;
     uint32_t addr = GetU32(bytes, pos);
-    if (pos + 2 > bytes.size()) std::abort();
-    uint8_t length = bytes[pos++];
+    uint8_t length = GetU8(bytes, pos);
     update.prefix = util::Ipv4Prefix(util::Ipv4Address(addr), length);
-    update.withdraw = bytes[pos++] != 0;
+    update.withdraw = GetU8(bytes, pos) != 0;
     if (!update.withdraw) {
-      if (pos + 2 > bytes.size()) std::abort();
       Route& r = update.route;
       r.prefix = update.prefix;
-      r.protocol = static_cast<Protocol>(bytes[pos++]);
-      r.origin = bytes[pos++];
-      r.local_pref = GetU32(bytes, pos);
-      r.med = GetU32(bytes, pos);
+      r.protocol = static_cast<Protocol>(GetU8(bytes, pos));
       r.metric = GetU32(bytes, pos);
       r.origin_node = GetU32(bytes, pos);
       r.learned_from = GetU32(bytes, pos);
-      r.as_path = GetU32List(bytes, pos);
-      r.communities = GetU32List(bytes, pos);
+      r.attrs = table.at(GetU32(bytes, pos));
     }
     updates.push_back(std::move(update));
   }
   return updates;
 }
 
+}  // namespace
+
+// ------------------------------------------------- per-batch attr tables
+
+uint32_t AttrTableBuilder::IndexOf(const Route& route) {
+  const AttrTuple& tuple = route.attrs.get();
+  inline_bytes_ += InlineAttrBytes(tuple);
+  // Identity fast path: the same pool entry (or the static default tuple)
+  // resolves without a deep compare.
+  auto identity = by_identity_.find(&tuple);
+  if (identity != by_identity_.end()) {
+    ++reused_;
+    return identity->second;
+  }
+  // Value dedup: distinct entries (e.g. from different pools, or the
+  // default tuple vs an equal one) still share a table slot.
+  size_t hash = tuple.Hash();
+  for (uint32_t index : by_hash_[hash]) {
+    if (*tuples_[index] == tuple) {
+      ++reused_;
+      by_identity_.emplace(&tuple, index);
+      return index;
+    }
+  }
+  uint32_t index = static_cast<uint32_t>(tuples_.size());
+  tuples_.push_back(&tuple);
+  by_identity_.emplace(&tuple, index);
+  by_hash_[hash].push_back(index);
+  return index;
+}
+
+void AttrTableBuilder::Serialize(std::vector<uint8_t>& out) const {
+  PutU32(out, static_cast<uint32_t>(tuples_.size()));
+  for (const AttrTuple* tuple : tuples_) PutTuple(out, *tuple);
+}
+
+size_t AttrTableBuilder::table_bytes() const {
+  size_t bytes = 4;
+  for (const AttrTuple* tuple : tuples_) bytes += InlineAttrBytes(*tuple);
+  return bytes;
+}
+
+AttrTable AttrTable::Read(const std::vector<uint8_t>& bytes, size_t& pos,
+                          AttrPool& pool) {
+  uint32_t count = GetU32(bytes, pos);
+  if (count > (bytes.size() - pos) / kMinTupleBytes) {
+    throw util::WireFormatError("attr table count " + std::to_string(count) +
+                                " exceeds remaining bytes");
+  }
+  AttrTable table;
+  table.handles_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    AttrTuple tuple;
+    tuple.local_pref = GetU32(bytes, pos);
+    tuple.med = GetU32(bytes, pos);
+    tuple.origin = GetU8(bytes, pos);
+    tuple.as_path = GetU32List(bytes, pos);
+    tuple.communities = GetU32List(bytes, pos);
+    table.handles_.push_back(pool.Intern(std::move(tuple)));
+  }
+  return table;
+}
+
+const AttrHandle& AttrTable::at(uint32_t index) const {
+  if (index >= handles_.size()) {
+    throw util::WireFormatError("attr index " + std::to_string(index) +
+                                " out of range (table size " +
+                                std::to_string(handles_.size()) + ")");
+  }
+  return handles_[index];
+}
+
+// --------------------------------------------------------- full batches
+
+void SerializeRoutes(const std::vector<RouteUpdate>& updates,
+                     std::vector<uint8_t>& out, AttrPool* stats_pool) {
+  AttrTableBuilder table;
+  std::vector<uint8_t> body;
+  PutRoutesBody(body, updates, table);
+  table.Serialize(out);
+  out.insert(out.end(), body.begin(), body.end());
+  if (stats_pool != nullptr) {
+    size_t references = table.distinct() + table.reused();
+    size_t packed = table.table_bytes() + 4 * references;
+    size_t inline_cost = table.inline_bytes();
+    stats_pool->NoteWireSavings(
+        table.distinct(), table.reused(),
+        inline_cost > packed ? inline_cost - packed : 0);
+  }
+}
+
+std::vector<RouteUpdate> DeserializeRoutes(const std::vector<uint8_t>& bytes,
+                                           AttrPool& pool) {
+  size_t pos = 0;
+  AttrTable table = AttrTable::Read(bytes, pos, pool);
+  return GetRoutesBody(bytes, pos, table);
+}
+
 void PutRoutesSection(std::vector<uint8_t>& out,
-                      const std::vector<RouteUpdate>& updates) {
+                      const std::vector<RouteUpdate>& updates,
+                      AttrTableBuilder& table) {
   std::vector<uint8_t> chunk;
-  SerializeRoutes(updates, chunk);
+  PutRoutesBody(chunk, updates, table);
   PutWireU32(out, static_cast<uint32_t>(chunk.size()));
   out.insert(out.end(), chunk.begin(), chunk.end());
 }
 
 std::vector<RouteUpdate> GetRoutesSection(const std::vector<uint8_t>& bytes,
-                                          size_t& pos) {
+                                          size_t& pos,
+                                          const AttrTable& table) {
   uint32_t len = GetWireU32(bytes, pos);
-  if (pos + len > bytes.size()) std::abort();
+  if (len > bytes.size() - pos) {
+    throw util::WireFormatError("routes section of " + std::to_string(len) +
+                                " bytes exceeds remaining input");
+  }
   std::vector<uint8_t> chunk(bytes.data() + pos, bytes.data() + pos + len);
   pos += len;
-  return DeserializeRoutes(chunk);
+  size_t chunk_pos = 0;
+  return GetRoutesBody(chunk, chunk_pos, table);
 }
 
 }  // namespace s2::cp

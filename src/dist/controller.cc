@@ -297,6 +297,46 @@ void Controller::PublishMetrics(obs::Registry& registry) const {
   }
   registry.SetCounter("routes.total_best",
                       static_cast<int64_t>(TotalBestRoutes()));
+
+  // Attribute-pool counters, summed over worker interning domains. The
+  // dedup ratio is hits/(hits+misses) over all Intern calls; wire savings
+  // compare the packed attribute-table encoding against inline tuples.
+  cp::AttrPool::Stats attr{};
+  for (const auto& worker : workers_) {
+    cp::AttrPool::Stats s = worker->attr_pool().stats();
+    attr.hits += s.hits;
+    attr.misses += s.misses;
+    attr.evictions += s.evictions;
+    attr.live_entries += s.live_entries;
+    attr.peak_entries += s.peak_entries;
+    attr.shared_bytes += s.shared_bytes;
+    attr.peak_shared_bytes += s.peak_shared_bytes;
+    attr.plain_bytes += s.plain_bytes;
+    attr.peak_plain_bytes += s.peak_plain_bytes;
+    attr.wire_tuples_written += s.wire_tuples_written;
+    attr.wire_tuples_reused += s.wire_tuples_reused;
+    attr.wire_bytes_saved += s.wire_bytes_saved;
+  }
+  registry.SetCounter("attr.intern_hits", static_cast<int64_t>(attr.hits));
+  registry.SetCounter("attr.intern_misses",
+                      static_cast<int64_t>(attr.misses));
+  registry.SetCounter("attr.evictions",
+                      static_cast<int64_t>(attr.evictions));
+  registry.SetCounter("attr.pool_live_entries",
+                      static_cast<int64_t>(attr.live_entries));
+  registry.SetCounter("attr.pool_peak_entries",
+                      static_cast<int64_t>(attr.peak_entries));
+  registry.SetCounter("attr.shared_peak_bytes",
+                      static_cast<int64_t>(attr.peak_shared_bytes));
+  registry.SetCounter("attr.plain_equivalent_peak_bytes",
+                      static_cast<int64_t>(attr.peak_plain_bytes));
+  registry.SetCounter("attr.wire_tuples_written",
+                      static_cast<int64_t>(attr.wire_tuples_written));
+  registry.SetCounter("attr.wire_tuples_reused",
+                      static_cast<int64_t>(attr.wire_tuples_reused));
+  registry.SetCounter("attr.wire_bytes_saved",
+                      static_cast<int64_t>(attr.wire_bytes_saved));
+  registry.SetGauge("attr.dedup_ratio", attr.DedupRatio());
 }
 
 }  // namespace s2::dist

@@ -1,8 +1,7 @@
 #include "dist/message.h"
 
-#include <cstdlib>
-
 #include "cp/route.h"
+#include "util/status.h"
 
 namespace s2::dist {
 
@@ -26,6 +25,12 @@ std::vector<dp::WirePacket> DecodePacketBatch(
   std::vector<dp::WirePacket> frames;
   size_t pos = 0;
   uint32_t count = cp::GetWireU32(payload, pos);
+  // Each frame is at least 6 u32s; validate before reserving so a corrupt
+  // count field can't balloon the allocation.
+  constexpr size_t kMinFrameBytes = 24;
+  if (count > (payload.size() - pos) / kMinFrameBytes) {
+    throw util::WireFormatError("packet batch count exceeds payload");
+  }
   frames.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     dp::WirePacket frame;
@@ -34,12 +39,17 @@ std::vector<dp::WirePacket> DecodePacketBatch(
     frame.src = cp::GetWireU32(payload, pos);
     frame.hops = static_cast<int>(cp::GetWireU32(payload, pos));
     uint32_t path_len = cp::GetWireU32(payload, pos);
+    if (path_len > (payload.size() - pos) / 4) {
+      throw util::WireFormatError("packet path length exceeds payload");
+    }
     frame.path.reserve(path_len);
     for (uint32_t p = 0; p < path_len; ++p) {
       frame.path.push_back(cp::GetWireU32(payload, pos));
     }
     uint32_t set_len = cp::GetWireU32(payload, pos);
-    if (pos + set_len > payload.size()) std::abort();  // malformed batch
+    if (set_len > payload.size() - pos) {
+      throw util::WireFormatError("packet BDD section exceeds payload");
+    }
     frame.set.assign(payload.begin() + pos, payload.begin() + pos + set_len);
     pos += set_len;
     frames.push_back(std::move(frame));

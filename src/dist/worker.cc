@@ -11,11 +11,13 @@ Worker::Worker(uint32_t index, const config::ParsedNetwork& network,
       network_(&network),
       fabric_(fabric),
       options_(options),
-      tracker_("worker-" + std::to_string(index), options.memory_budget) {
+      tracker_("worker-" + std::to_string(index), options.memory_budget),
+      attr_pool_(&tracker_) {
   for (topo::NodeId id = 0; id < network.configs.size(); ++id) {
     if (fabric_->WorkerOf(id) == index_) {
       local_.push_back(id);
-      nodes_.emplace(id, std::make_unique<cp::Node>(id, network, &tracker_));
+      nodes_.emplace(id, std::make_unique<cp::Node>(id, network, &tracker_,
+                                                    &attr_pool_));
     }
   }
   // Shadow every remote switch adjacent to a local one.
@@ -69,7 +71,7 @@ bool Worker::ComputeAndShipImpl(bool suppress_remote) {
         message.type = MessageType::kRouteUpdates;
         message.to_node = session.peer;
         message.from_node = id;
-        cp::SerializeRoutes(updates, message.payload);
+        cp::SerializeRoutes(updates, message.payload, &attr_pool_);
         fabric_->Send(index_, std::move(message));
       }
     }
@@ -87,8 +89,11 @@ void Worker::Deliver() {
 void Worker::DeliverBatch(std::vector<Message> messages) {
   for (Message& message : messages) {
     if (message.type != MessageType::kRouteUpdates) continue;
+    // Re-intern into this worker's pool: each distinct tuple in the batch
+    // crossed the boundary once and costs one intern here.
     shadows_.at(message.from_node)
-        .Deliver(message.to_node, cp::DeserializeRoutes(message.payload));
+        .Deliver(message.to_node,
+                 cp::DeserializeRoutes(message.payload, attr_pool_));
   }
   // Every local node pulls from each neighbor, agnostic of whether the
   // neighbor is a real node (same worker) or a shadow (paper Alg. 1).
@@ -138,7 +143,7 @@ void Worker::BuildDataPlane(const cp::RibStore* store) {
     std::map<util::Ipv4Prefix, std::vector<cp::Route>> from_store;
     const auto* bgp = &node.bgp_routes();
     if (store != nullptr) {
-      from_store = store->ReadAll(id);
+      from_store = store->ReadAll(id, attr_pool_);
       bgp = &from_store;
     }
     dp::Fib fib = dp::Fib::Build(*network_, id, *bgp, node.ospf_routes(),

@@ -64,6 +64,9 @@ class Worker {
 
   uint32_t index() const { return index_; }
   util::MemoryTracker& tracker() { return tracker_; }
+  // The worker's attribute-interning domain: inbound batches re-intern
+  // here, and the RunReport's attr.* counters sum these per-worker stats.
+  const cp::AttrPool& attr_pool() const { return attr_pool_; }
   const std::vector<topo::NodeId>& local_nodes() const { return local_; }
   bool IsLocal(topo::NodeId id) const {
     return fabric_->WorkerOf(id) == index_;
@@ -165,6 +168,9 @@ class Worker {
   SidecarFabric* fabric_;
   Options options_;
   util::MemoryTracker tracker_;
+  // Declared after tracker_ (entries charge it) and before nodes_ /
+  // shadows_ / local_pending_ (they hold handles into it).
+  cp::AttrPool attr_pool_;
 
   std::vector<topo::NodeId> local_;
   std::unordered_map<topo::NodeId, std::unique_ptr<cp::Node>> nodes_;

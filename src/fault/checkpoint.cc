@@ -1,10 +1,10 @@
 #include "fault/checkpoint.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "bdd/bdd_io.h"
 #include "cp/route.h"
+#include "util/status.h"
 
 namespace s2::fault {
 
@@ -19,7 +19,9 @@ void PutBddSection(std::vector<uint8_t>& out, const bdd::Bdd& f) {
 bdd::Bdd GetBddSection(bdd::Manager& manager,
                        const std::vector<uint8_t>& bytes, size_t& pos) {
   uint32_t len = cp::GetWireU32(bytes, pos);
-  if (pos + len > bytes.size()) std::abort();
+  if (len > bytes.size() - pos) {
+    throw util::WireFormatError("BDD section exceeds checkpoint bytes");
+  }
   std::vector<uint8_t> chunk(bytes.data() + pos, bytes.data() + pos + len);
   pos += len;
   return bdd::DeserializeInto(manager, chunk);
@@ -44,6 +46,10 @@ std::unordered_map<topo::NodeId, bdd::Bdd> GetPortMap(
     bdd::Manager& manager, const std::vector<uint8_t>& bytes, size_t& pos) {
   std::unordered_map<topo::NodeId, bdd::Bdd> ports;
   uint32_t count = cp::GetWireU32(bytes, pos);
+  // Each entry is at least an id plus an empty BDD section (two u32s).
+  if (count > (bytes.size() - pos) / 8) {
+    throw util::WireFormatError("port map count exceeds checkpoint bytes");
+  }
   for (uint32_t i = 0; i < count; ++i) {
     topo::NodeId id = cp::GetWireU32(bytes, pos);
     ports.emplace(id, GetBddSection(manager, bytes, pos));

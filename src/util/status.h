@@ -35,6 +35,17 @@ class SimulatedTimeout : public std::runtime_error {
       : std::runtime_error("simulated timeout: " + what) {}
 };
 
+// Thrown by the wire deserializers (cp/route.cc, dist/message.cc,
+// fault/checkpoint.cc) on truncated input or length fields that exceed the
+// remaining bytes. Internally produced bytes never trip this; it exists so
+// corrupt or hostile input fails with a catchable error instead of an
+// abort or an absurd-length allocation.
+class WireFormatError : public std::runtime_error {
+ public:
+  explicit WireFormatError(const std::string& what)
+      : std::runtime_error("malformed wire bytes: " + what) {}
+};
+
 // A value-or-error result. Kept deliberately tiny; only the handful of
 // fallible boundaries use it (config parsing chiefly).
 template <typename T>

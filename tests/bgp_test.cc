@@ -2,10 +2,16 @@
 // attribute scrubbing, loop rejection, and aggregate suppression.
 #include <gtest/gtest.h>
 
+#include "cp/attr.h"
 #include "cp/bgp.h"
 
 namespace s2::cp {
 namespace {
+
+AttrPool& TestPool() {
+  static AttrPool* pool = new AttrPool();
+  return *pool;
+}
 
 config::ViConfig DeviceWithAsn(uint32_t asn, topo::Vendor vendor) {
   config::ViConfig config;
@@ -27,18 +33,21 @@ Route LearnedRoute() {
   Route r;
   r.prefix = util::MustParsePrefix("10.1.0.0/24");
   r.protocol = Protocol::kBgp;
-  r.local_pref = 200;  // import policy had raised it
-  r.as_path = {65009};
+  AttrTuple tuple;
+  tuple.local_pref = 200;  // import policy had raised it
+  tuple.as_path = {65009};
+  r.attrs = TestPool().Intern(std::move(tuple));
   r.learned_from = 4;
   return r;
 }
 
 TEST(TransformForExportTest, PrependsAndScrubsLocalPref) {
   auto config = DeviceWithAsn(65001, topo::Vendor::kAlpha);
-  auto exported = TransformForExport(LearnedRoute(), config, Session());
+  auto exported =
+      TransformForExport(LearnedRoute(), config, Session(), TestPool());
   ASSERT_TRUE(exported.has_value());
-  EXPECT_EQ(exported->as_path, (std::vector<uint32_t>{65001, 65009}));
-  EXPECT_EQ(exported->local_pref, 100u);  // LOCAL_PREF not sent over eBGP
+  EXPECT_EQ(exported->as_path(), (std::vector<uint32_t>{65001, 65009}));
+  EXPECT_EQ(exported->local_pref(), 100u);  // LOCAL_PREF not sent over eBGP
 }
 
 TEST(TransformForExportTest, OverwriteReplacesInsteadOfPrepending) {
@@ -52,9 +61,10 @@ TEST(TransformForExportTest, OverwriteReplacesInsteadOfPrepending) {
   config.route_maps.emplace(map.name, map);
   auto session = Session();
   session.export_route_map = "EXP";
-  auto exported = TransformForExport(LearnedRoute(), config, session);
+  auto exported =
+      TransformForExport(LearnedRoute(), config, session, TestPool());
   ASSERT_TRUE(exported.has_value());
-  EXPECT_EQ(exported->as_path, (std::vector<uint32_t>{64600}));
+  EXPECT_EQ(exported->as_path(), (std::vector<uint32_t>{64600}));
 }
 
 TEST(TransformForExportTest, DenyYieldsNullopt) {
@@ -67,36 +77,40 @@ TEST(TransformForExportTest, DenyYieldsNullopt) {
   config.route_maps.emplace(map.name, map);
   auto session = Session();
   session.export_route_map = "EXP";
-  EXPECT_FALSE(TransformForExport(LearnedRoute(), config, session));
+  EXPECT_FALSE(TransformForExport(LearnedRoute(), config, session,
+                                  TestPool()));
 }
 
 TEST(TransformForExportTest, RemovePrivateAsUsesVendorSemantics) {
   Route r = LearnedRoute();
-  r.as_path = {64512, 7018, 64513};
+  r.MutateAttrs(TestPool(),
+                [](AttrTuple& t) { t.as_path = {64512, 7018, 64513}; });
   auto session = Session();
   session.remove_private_as = true;
 
   // remove-private-as runs on the learned path, before the local prepend.
   // Alpha removes every private ASN.
   auto alpha = DeviceWithAsn(60000, topo::Vendor::kAlpha);
-  auto ea = TransformForExport(r, alpha, session);
+  auto ea = TransformForExport(r, alpha, session, TestPool());
   ASSERT_TRUE(ea.has_value());
-  EXPECT_EQ(ea->as_path, (std::vector<uint32_t>{60000, 7018}));
+  EXPECT_EQ(ea->as_path(), (std::vector<uint32_t>{60000, 7018}));
 
   // Beta removes only the leading private run (64512), leaving the
   // private ASN behind the first public one (64513) in place — the §2.1
   // vendor divergence, observable on the wire.
   auto beta = DeviceWithAsn(60000, topo::Vendor::kBeta);
-  auto eb = TransformForExport(r, beta, session);
+  auto eb = TransformForExport(r, beta, session, TestPool());
   ASSERT_TRUE(eb.has_value());
-  EXPECT_EQ(eb->as_path, (std::vector<uint32_t>{60000, 7018, 64513}));
+  EXPECT_EQ(eb->as_path(), (std::vector<uint32_t>{60000, 7018, 64513}));
 }
 
 TEST(ProcessImportTest, RejectsOwnAsnInPath) {
   auto config = DeviceWithAsn(65001, topo::Vendor::kAlpha);
   Route r = LearnedRoute();
-  r.as_path = {65009, 65001, 65003};  // contains our ASN
-  EXPECT_FALSE(ProcessImport(r, config, Session(), 4));
+  r.MutateAttrs(TestPool(), [](AttrTuple& t) {
+    t.as_path = {65009, 65001, 65003};  // contains our ASN
+  });
+  EXPECT_FALSE(ProcessImport(r, config, Session(), 4, TestPool()));
 }
 
 TEST(ProcessImportTest, AppliesImportPolicyAndProvenance) {
@@ -111,11 +125,22 @@ TEST(ProcessImportTest, AppliesImportPolicyAndProvenance) {
   config.route_maps.emplace(map.name, map);
   auto session = Session();
   session.import_route_map = "IMP";
-  auto imported = ProcessImport(LearnedRoute(), config, session, 9);
+  auto imported =
+      ProcessImport(LearnedRoute(), config, session, 9, TestPool());
   ASSERT_TRUE(imported.has_value());
   EXPECT_EQ(imported->learned_from, 9u);
-  EXPECT_EQ(imported->local_pref, 200u);
+  EXPECT_EQ(imported->local_pref(), 200u);
   EXPECT_TRUE(imported->HasCommunity(999));
+}
+
+TEST(ProcessImportTest, ImportAcceptReusesHandleWhenUnmodified) {
+  // No import policy: the accepted route must share the sender's interned
+  // entry rather than re-interning an identical tuple.
+  auto config = DeviceWithAsn(65001, topo::Vendor::kAlpha);
+  Route learned = LearnedRoute();
+  auto imported = ProcessImport(learned, config, Session(), 9, TestPool());
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_TRUE(imported->attrs.SameEntry(learned.attrs));
 }
 
 TEST(ProcessImportTest, ImportDenyRejects) {
@@ -129,7 +154,8 @@ TEST(ProcessImportTest, ImportDenyRejects) {
   config.route_maps.emplace(map.name, map);
   auto session = Session();
   session.import_route_map = "IMP";
-  EXPECT_FALSE(ProcessImport(LearnedRoute(), config, session, 9));
+  EXPECT_FALSE(ProcessImport(LearnedRoute(), config, session, 9,
+                             TestPool()));
 }
 
 TEST(SuppressedByAggregateTest, OnlySummaryOnlyCoveredStrictly) {

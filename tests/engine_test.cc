@@ -45,13 +45,14 @@ TEST(MonoEngineTest, FatTreeShortestPathsAndEcmp) {
   // the 2 aggregation uplinks.
   auto p = util::MustParsePrefix("10.1.0.0/24");
   const auto& routes = engine.node(e00).bgp_routes().at(p);
-  EXPECT_EQ(routes.front().as_path.size(), 4u);
+  EXPECT_EQ(routes.front().as_path().size(), 4u);
   EXPECT_EQ(routes.size(), 2u);
   EXPECT_EQ(routes.front().origin_node, e10);
   // Same-pod route: length 2, also ECMP 2.
   auto same_pod = util::MustParsePrefix("10.0.1.0/24");
-  EXPECT_EQ(engine.node(e00).bgp_routes().at(same_pod).front().as_path.size(),
-            2u);
+  EXPECT_EQ(
+      engine.node(e00).bgp_routes().at(same_pod).front().as_path().size(),
+      2u);
 }
 
 TEST(MonoEngineTest, ShardedMatchesUnshardedExactly) {
@@ -68,7 +69,8 @@ TEST(MonoEngineTest, ShardedMatchesUnshardedExactly) {
   sharded.Run(&plan, &store);
 
   for (topo::NodeId id = 0; id < parsed.configs.size(); ++id) {
-    EXPECT_EQ(store.ReadAll(id), direct.node(id).bgp_routes())
+    EXPECT_EQ(store.ReadAll(id, sharded.attr_pool()),
+              direct.node(id).bgp_routes())
         << "node " << parsed.configs[id].hostname;
   }
 }

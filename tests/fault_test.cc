@@ -222,16 +222,35 @@ TEST(ReliableTransportTest, TracksMaxQueueDepth) {
 
 // ----------------------------------------------------------- checkpoints
 
+cp::AttrPool& TestPool() {
+  static cp::AttrPool* pool = new cp::AttrPool();
+  return *pool;
+}
+
 cp::Route MakeRoute(const std::string& prefix, uint32_t local_pref,
                     size_t path_len, topo::NodeId from) {
   cp::Route r;
   r.prefix = util::MustParsePrefix(prefix);
   r.protocol = cp::Protocol::kBgp;
-  r.local_pref = local_pref;
-  r.as_path.assign(path_len, 65000);
+  cp::AttrTuple tuple;
+  tuple.local_pref = local_pref;
+  tuple.as_path.assign(path_len, 65000);
+  r.attrs = TestPool().Intern(std::move(tuple));
   r.learned_from = from;
   r.origin_node = from;
   return r;
+}
+
+// Snapshots a RIB the way node checkpoints do: attribute table first,
+// then the route sections referencing it.
+std::vector<uint8_t> SnapshotRib(const cp::Rib& rib) {
+  cp::AttrTableBuilder builder;
+  std::vector<uint8_t> body;
+  rib.SerializeState(body, builder);
+  std::vector<uint8_t> bytes;
+  builder.Serialize(bytes);
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  return bytes;
 }
 
 TEST(CheckpointTest, RibStateRoundTripsExactly) {
@@ -245,12 +264,12 @@ TEST(CheckpointTest, RibStateRoundTripsExactly) {
   // withdrawal the replay must re-emit.
   rib.Withdraw(1, util::MustParsePrefix("10.0.1.0/24"));
 
-  std::vector<uint8_t> bytes;
-  rib.SerializeState(bytes);
+  std::vector<uint8_t> bytes = SnapshotRib(rib);
 
   cp::Rib restored(nullptr);
   size_t pos = 0;
-  restored.RestoreState(bytes, pos);
+  cp::AttrTable table = cp::AttrTable::Read(bytes, pos, TestPool());
+  restored.RestoreState(bytes, pos, table);
   EXPECT_EQ(pos, bytes.size());
   EXPECT_EQ(restored.candidates(), rib.candidates());
   EXPECT_EQ(restored.all_best(), rib.all_best());
@@ -264,10 +283,7 @@ TEST(CheckpointTest, RibStateRoundTripsExactly) {
   EXPECT_EQ(changed_restored[0], util::MustParsePrefix("10.0.1.0/24"));
 
   // And re-serializing yields byte-identical state.
-  std::vector<uint8_t> bytes2, bytes3;
-  rib.SerializeState(bytes2);
-  restored.SerializeState(bytes3);
-  EXPECT_EQ(bytes2, bytes3);
+  EXPECT_EQ(SnapshotRib(rib), SnapshotRib(restored));
 }
 
 TEST(CheckpointTest, RoutesSectionEmbedsInCompositeBuffers) {
@@ -276,13 +292,20 @@ TEST(CheckpointTest, RoutesSectionEmbedsInCompositeBuffers) {
   updates[0].route = MakeRoute("10.0.0.0/24", 100, 2, 3);
   updates[1].prefix = util::MustParsePrefix("10.0.1.0/24");
   updates[1].withdraw = true;
+  // Composite layout: attribute table up front, sections and plain fields
+  // interleaved after it.
+  cp::AttrTableBuilder builder;
+  std::vector<uint8_t> body;
+  cp::PutWireU32(body, 7);  // leading field
+  cp::PutRoutesSection(body, updates, builder);
+  cp::PutWireU32(body, 9);  // trailing field survives the section read
   std::vector<uint8_t> out;
-  cp::PutWireU32(out, 7);  // leading field
-  cp::PutRoutesSection(out, updates);
-  cp::PutWireU32(out, 9);  // trailing field survives the section read
+  builder.Serialize(out);
+  out.insert(out.end(), body.begin(), body.end());
   size_t pos = 0;
+  cp::AttrTable table = cp::AttrTable::Read(out, pos, TestPool());
   EXPECT_EQ(cp::GetWireU32(out, pos), 7u);
-  auto round_trip = cp::GetRoutesSection(out, pos);
+  auto round_trip = cp::GetRoutesSection(out, pos, table);
   ASSERT_EQ(round_trip.size(), 2u);
   EXPECT_EQ(round_trip[0].route, updates[0].route);
   EXPECT_TRUE(round_trip[1].withdraw);

@@ -11,10 +11,17 @@
 // identical.
 #include <gtest/gtest.h>
 
+#include "bdd/bdd.h"
+#include "bdd/bdd_io.h"
 #include "core/mono.h"
 #include "core/s2.h"
+#include "cp/route.h"
+#include "dist/message.h"
+#include "dp/parallel.h"
+#include "fault/checkpoint.h"
 #include "test_networks.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace s2 {
 namespace {
@@ -252,6 +259,184 @@ TEST(ParserFuzzTest, MutatedRenderingsAreRejected) {
   }
   // Sanity: the digit path does exercise the survivor branch.
   EXPECT_GT(digit_survivors, 0);
+}
+
+// ------------------------------------------------ malformed wire corpus
+//
+// Deserializers face bytes from other processes and from disk; a crashed
+// sidecar or a torn checkpoint write must surface as util::WireFormatError,
+// never as std::abort or an absurd-length allocation. The corpus attacks
+// every wire format with (a) every strict truncation of a valid blob and
+// (b) saturated length/count fields at every byte offset — the latter is
+// what turns a single flipped bit into a multi-gigabyte reserve() if a
+// count is trusted before the remaining bytes are measured.
+
+std::vector<uint8_t> ValidRouteBatch(cp::AttrPool& pool) {
+  std::vector<cp::RouteUpdate> updates;
+  for (uint32_t i = 0; i < 8; ++i) {
+    cp::Route r;
+    r.prefix = util::Ipv4Prefix(util::Ipv4Address((10u << 24) | (i << 8)), 24);
+    r.origin_node = i;
+    r.learned_from = (i + 1) % 8;
+    r.MutateAttrs(pool, [&](cp::AttrTuple& t) {
+      t.local_pref = 100 + (i % 3) * 10;
+      t.as_path = {65001u, 65000u + (i % 3)};
+      if (i % 2) t.communities = {100u, 999u};
+    });
+    updates.push_back(cp::RouteUpdate{r.prefix, false, r});
+  }
+  updates.push_back(cp::RouteUpdate{util::MustParsePrefix("10.9.0.0/24"),
+                                    true, cp::Route{}});
+  std::vector<uint8_t> bytes;
+  cp::SerializeRoutes(updates, bytes);
+  return bytes;
+}
+
+TEST(WireFuzzTest, EveryTruncatedRouteBatchErrors) {
+  cp::AttrPool pool;
+  std::vector<uint8_t> bytes = ValidRouteBatch(pool);
+  ASSERT_EQ(cp::DeserializeRoutes(bytes, pool).size(), 9u);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    EXPECT_THROW(cp::DeserializeRoutes(cut, pool), util::WireFormatError)
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(WireFuzzTest, SaturatedRouteBatchFieldsErrorNotAllocate) {
+  cp::AttrPool pool;
+  std::vector<uint8_t> bytes = ValidRouteBatch(pool);
+  // Overwriting any 4 consecutive bytes with 0xFF saturates whichever
+  // count, length, or index field they belong to (attr-table count, list
+  // lengths, route count, tuple index). Decode must reject or survive —
+  // the EXPECT_LE bounds the damage a trusted count could have done.
+  for (size_t pos = 0; pos + 4 <= bytes.size(); ++pos) {
+    std::vector<uint8_t> corrupt = bytes;
+    for (size_t i = 0; i < 4; ++i) corrupt[pos + i] = 0xFF;
+    try {
+      auto decoded = cp::DeserializeRoutes(corrupt, pool);
+      EXPECT_LE(decoded.size(), corrupt.size());  // no phantom routes
+    } catch (const util::WireFormatError&) {
+      // the expected outcome for most offsets
+    }
+  }
+}
+
+TEST(WireFuzzTest, RandomRouteBatchMutationsNeverCrash) {
+  cp::AttrPool pool;
+  std::vector<uint8_t> bytes = ValidRouteBatch(pool);
+  util::Rng rng(0xF00D);
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<uint8_t> corrupt = bytes;
+    int flips = static_cast<int>(rng.Between(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      corrupt[rng.Below(corrupt.size())] ^=
+          static_cast<uint8_t>(1u << rng.Below(8));
+    }
+    try {
+      cp::DeserializeRoutes(corrupt, pool);
+    } catch (const util::WireFormatError&) {
+    }
+  }
+}
+
+std::vector<uint8_t> ValidPacketBatch() {
+  std::vector<dp::WirePacket> frames;
+  for (uint32_t i = 0; i < 4; ++i) {
+    dp::WirePacket frame;
+    frame.at = i;
+    frame.from = i + 1;
+    frame.src = 0;
+    frame.hops = static_cast<int>(i);
+    frame.path = {0u, 1u, i};
+    frame.set = {0x44, 0x42, 0x32, 0x53, 0x01, 0x02, 0x03};  // opaque here
+    frames.push_back(std::move(frame));
+  }
+  std::vector<uint8_t> payload;
+  dist::EncodePacketBatch(frames, payload);
+  return payload;
+}
+
+TEST(WireFuzzTest, EveryTruncatedPacketBatchErrors) {
+  std::vector<uint8_t> payload = ValidPacketBatch();
+  ASSERT_EQ(dist::DecodePacketBatch(payload).size(), 4u);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<uint8_t> cut(payload.begin(), payload.begin() + len);
+    EXPECT_THROW(dist::DecodePacketBatch(cut), util::WireFormatError)
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(WireFuzzTest, SaturatedPacketBatchFieldsErrorNotAllocate) {
+  std::vector<uint8_t> payload = ValidPacketBatch();
+  for (size_t pos = 0; pos + 4 <= payload.size(); ++pos) {
+    std::vector<uint8_t> corrupt = payload;
+    for (size_t i = 0; i < 4; ++i) corrupt[pos + i] = 0xFF;
+    try {
+      auto frames = dist::DecodePacketBatch(corrupt);
+      EXPECT_LE(frames.size(), corrupt.size());
+    } catch (const util::WireFormatError&) {
+    }
+  }
+}
+
+std::vector<uint8_t> ValidPredicateBlob(bdd::Manager& manager) {
+  dp::NodePredicates preds;
+  preds.arrive = manager.And(manager.Var(0), manager.Var(3));
+  preds.exit = manager.Or(manager.Var(1), manager.NotVar(2));
+  preds.discard = manager.Not(preds.arrive);
+  preds.forward[7] = manager.Var(2);
+  preds.forward[9] = manager.And(manager.Var(4), manager.NotVar(0));
+  preds.acl_in[7] = manager.One();
+  preds.acl_out[9] = manager.Var(5);
+  return fault::SerializePredicates(preds);
+}
+
+TEST(WireFuzzTest, EveryTruncatedPredicateCheckpointErrors) {
+  bdd::Manager manager(16);
+  std::vector<uint8_t> bytes = ValidPredicateBlob(manager);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    bdd::Manager fresh(16);
+    EXPECT_THROW(fault::DeserializePredicates(fresh, cut),
+                 util::WireFormatError)
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(WireFuzzTest, SaturatedPredicateCheckpointFieldsError) {
+  bdd::Manager manager(16);
+  std::vector<uint8_t> bytes = ValidPredicateBlob(manager);
+  for (size_t pos = 0; pos + 4 <= bytes.size(); ++pos) {
+    std::vector<uint8_t> corrupt = bytes;
+    for (size_t i = 0; i < 4; ++i) corrupt[pos + i] = 0xFF;
+    bdd::Manager fresh(16);
+    try {
+      fault::DeserializePredicates(fresh, corrupt);
+    } catch (const util::WireFormatError&) {
+    }
+  }
+}
+
+TEST(WireFuzzTest, RandomBddBlobMutationsNeverCrash) {
+  bdd::Manager manager(16);
+  bdd::Bdd f = manager.Or(manager.And(manager.Var(0), manager.Var(1)),
+                          manager.And(manager.Var(2), manager.NotVar(3)));
+  std::vector<uint8_t> bytes = bdd::Serialize(f);
+  util::Rng rng(0xB0D);
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<uint8_t> corrupt = bytes;
+    int flips = static_cast<int>(rng.Between(1, 6));
+    for (int fl = 0; fl < flips; ++fl) {
+      corrupt[rng.Below(corrupt.size())] ^=
+          static_cast<uint8_t>(1u << rng.Below(8));
+    }
+    bdd::Manager fresh(16);
+    try {
+      bdd::DeserializeInto(fresh, corrupt);
+    } catch (const util::WireFormatError&) {
+    }
+  }
 }
 
 }  // namespace

@@ -175,7 +175,7 @@ TEST(IntegrationTest, RemovePrivateAsVisibleAtBorders) {
     for (const cp::Route& route : routes) {
       if (route.learned_from == border1) {
         ++from_peer_border;
-        for (uint32_t asn : route.as_path) {
+        for (uint32_t asn : route.as_path()) {
           EXPECT_FALSE(cp::IsPrivateAsn(asn))
               << prefix.ToString() << " carries private ASN " << asn;
         }

@@ -28,18 +28,23 @@ int Converge(std::vector<std::unique_ptr<Node>>& nodes, int max_rounds = 50) {
   return rounds;
 }
 
+AttrPool& TestPool() {
+  static AttrPool* pool = new AttrPool();
+  return *pool;
+}
+
 std::vector<std::unique_ptr<Node>> MakeNodes(
     const config::ParsedNetwork& net) {
   std::vector<std::unique_ptr<Node>> nodes;
   for (topo::NodeId id = 0; id < net.configs.size(); ++id) {
-    nodes.push_back(std::make_unique<Node>(id, net, nullptr));
+    nodes.push_back(std::make_unique<Node>(id, net, nullptr, &TestPool()));
   }
   return nodes;
 }
 
 TEST(NodeTest, SessionsResolvePeers) {
   auto net = testing::Parse(testing::MakeChain(3));
-  Node middle(1, net, nullptr);
+  Node middle(1, net, nullptr, &TestPool());
   ASSERT_EQ(middle.sessions().size(), 2u);
   EXPECT_EQ(middle.sessions()[0].peer, 0u);
   EXPECT_EQ(middle.sessions()[1].peer, 2u);
@@ -58,7 +63,7 @@ TEST(NodeTest, ChainConvergesWithFullRibs) {
   // AS paths grow with distance: r0's route to 10.0.3.0/24 went through
   // r1, r2, r3.
   auto p3 = util::MustParsePrefix("10.0.3.0/24");
-  EXPECT_EQ(nodes[0]->bgp_routes().at(p3).front().as_path.size(), 3u);
+  EXPECT_EQ(nodes[0]->bgp_routes().at(p3).front().as_path().size(), 3u);
   EXPECT_EQ(nodes[0]->bgp_routes().at(p3).front().learned_from, 1u);
 }
 
@@ -107,7 +112,7 @@ TEST(NodeTest, AsPathPrependSteersTrafficAway) {
   // The de-preferred path is still a candidate with the longer AS path.
   const auto& direct =
       nodes[0]->bgp_routes().at(util::MustParsePrefix("10.0.1.0/24"));
-  EXPECT_EQ(direct.front().as_path.size(), 3u);  // 1 real + 2 prepended
+  EXPECT_EQ(direct.front().as_path().size(), 3u);  // 1 real + 2 prepended
 }
 
 TEST(NodeTest, ShardRestrictsOrigination) {
@@ -237,7 +242,8 @@ TEST(NodeTest, RedistributesOspfIntoBgp) {
   for (auto& node : nodes) node->RetainBgp();
   auto lo0 = util::MustParsePrefix("172.16.0.0/32");
   ASSERT_TRUE(nodes[2]->bgp_routes().count(lo0));
-  EXPECT_EQ(nodes[2]->bgp_routes().at(lo0).front().origin, 2u);  // incomplete
+  EXPECT_EQ(nodes[2]->bgp_routes().at(lo0).front().origin(),
+            2u);  // incomplete
 }
 
 }  // namespace

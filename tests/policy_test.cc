@@ -2,16 +2,23 @@
 // the two vendors' divergent remove-private-as semantics.
 #include <gtest/gtest.h>
 
+#include "cp/attr.h"
 #include "cp/policy.h"
 
 namespace s2::cp {
 namespace {
 
+AttrPool& TestPool() {
+  static AttrPool* pool = new AttrPool();
+  return *pool;
+}
+
 Route TestRoute() {
   Route r;
   r.prefix = util::MustParsePrefix("10.1.2.0/24");
-  r.local_pref = 100;
-  r.as_path = {65001};
+  AttrTuple tuple;
+  tuple.as_path = {65001};
+  r.attrs = TestPool().Intern(std::move(tuple));
   return r;
 }
 
@@ -24,9 +31,11 @@ config::RouteMap MapOf(std::vector<config::RouteMapClause> clauses) {
 
 TEST(ApplyRouteMapTest, NullMapPermitsUnchanged) {
   Route r = TestRoute();
-  PolicyResult result = ApplyRouteMap(nullptr, r, 65000);
+  PolicyResult result = ApplyRouteMap(nullptr, r, 65000, TestPool());
   EXPECT_TRUE(result.accepted);
   EXPECT_EQ(result.route, r);
+  // The untouched route keeps its interned handle — no new pool entry.
+  EXPECT_TRUE(result.route.attrs.SameEntry(r.attrs));
 }
 
 TEST(ApplyRouteMapTest, ImplicitDenyWhenNothingMatches) {
@@ -34,7 +43,7 @@ TEST(ApplyRouteMapTest, ImplicitDenyWhenNothingMatches) {
   clause.permit = true;
   clause.match_covered_by = util::MustParsePrefix("192.168.0.0/16");
   auto map = MapOf({clause});
-  EXPECT_FALSE(ApplyRouteMap(&map, TestRoute(), 65000).accepted);
+  EXPECT_FALSE(ApplyRouteMap(&map, TestRoute(), 65000, TestPool()).accepted);
 }
 
 TEST(ApplyRouteMapTest, FirstMatchWins) {
@@ -44,10 +53,10 @@ TEST(ApplyRouteMapTest, FirstMatchWins) {
   config::RouteMapClause permit;
   permit.permit = true;
   auto map = MapOf({deny, permit});
-  EXPECT_FALSE(ApplyRouteMap(&map, TestRoute(), 65000).accepted);
+  EXPECT_FALSE(ApplyRouteMap(&map, TestRoute(), 65000, TestPool()).accepted);
   // Reorder: permit-all first.
   auto map2 = MapOf({permit, deny});
-  EXPECT_TRUE(ApplyRouteMap(&map2, TestRoute(), 65000).accepted);
+  EXPECT_TRUE(ApplyRouteMap(&map2, TestRoute(), 65000, TestPool()).accepted);
 }
 
 TEST(ApplyRouteMapTest, CommunityMatchIsAnyOf) {
@@ -56,9 +65,9 @@ TEST(ApplyRouteMapTest, CommunityMatchIsAnyOf) {
   clause.match_any_community = {111, 222};
   auto map = MapOf({clause});
   Route r = TestRoute();
-  EXPECT_FALSE(ApplyRouteMap(&map, r, 65000).accepted);
-  r.AddCommunity(222);
-  EXPECT_TRUE(ApplyRouteMap(&map, r, 65000).accepted);
+  EXPECT_FALSE(ApplyRouteMap(&map, r, 65000, TestPool()).accepted);
+  r.MutateAttrs(TestPool(), [](AttrTuple& t) { t.AddCommunity(222); });
+  EXPECT_TRUE(ApplyRouteMap(&map, r, 65000, TestPool()).accepted);
 }
 
 TEST(ApplyRouteMapTest, SetsApplyOnPermit) {
@@ -67,10 +76,10 @@ TEST(ApplyRouteMapTest, SetsApplyOnPermit) {
   clause.set_local_pref = 250;
   clause.add_communities = {42, 7};
   auto map = MapOf({clause});
-  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 65000);
+  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 65000, TestPool());
   ASSERT_TRUE(result.accepted);
-  EXPECT_EQ(result.route.local_pref, 250u);
-  EXPECT_EQ(result.route.communities, (std::vector<uint32_t>{7, 42}));
+  EXPECT_EQ(result.route.local_pref(), 250u);
+  EXPECT_EQ(result.route.communities(), (std::vector<uint32_t>{7, 42}));
   EXPECT_FALSE(result.as_path_overwritten);
 }
 
@@ -79,10 +88,10 @@ TEST(ApplyRouteMapTest, AsPathOverwriteSetsFlagAndPath) {
   clause.permit = true;
   clause.set_as_path_overwrite = true;
   auto map = MapOf({clause});
-  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 64600);
+  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 64600, TestPool());
   ASSERT_TRUE(result.accepted);
   EXPECT_TRUE(result.as_path_overwritten);
-  EXPECT_EQ(result.route.as_path, (std::vector<uint32_t>{64600}));
+  EXPECT_EQ(result.route.as_path(), (std::vector<uint32_t>{64600}));
 }
 
 TEST(ApplyRouteMapTest, ContinueAccumulatesAcrossClauses) {
@@ -99,11 +108,11 @@ TEST(ApplyRouteMapTest, ContinueAccumulatesAcrossClauses) {
   all.permit = true;
   all.set_local_pref = 130;
   auto map = MapOf({tag, tag2, all});
-  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 65000);
+  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 65000, TestPool());
   ASSERT_TRUE(result.accepted);
   EXPECT_TRUE(result.route.HasCommunity(200));
   EXPECT_TRUE(result.route.HasCommunity(77));
-  EXPECT_EQ(result.route.local_pref, 130u);
+  EXPECT_EQ(result.route.local_pref(), 130u);
 }
 
 TEST(ApplyRouteMapTest, DenyAfterContinueRejects) {
@@ -115,7 +124,7 @@ TEST(ApplyRouteMapTest, DenyAfterContinueRejects) {
   deny.permit = false;
   deny.match_any_community = {5};  // matches the freshly-tagged route
   auto map = MapOf({tag, deny});
-  EXPECT_FALSE(ApplyRouteMap(&map, TestRoute(), 65000).accepted);
+  EXPECT_FALSE(ApplyRouteMap(&map, TestRoute(), 65000, TestPool()).accepted);
 }
 
 TEST(ApplyRouteMapTest, SetMedAndDeleteCommunities) {
@@ -125,13 +134,15 @@ TEST(ApplyRouteMapTest, SetMedAndDeleteCommunities) {
   clause.delete_communities = {100, 500};
   auto map = MapOf({clause});
   Route r = TestRoute();
-  r.AddCommunity(100);
-  r.AddCommunity(200);
-  r.AddCommunity(500);
-  PolicyResult result = ApplyRouteMap(&map, r, 65000);
+  r.MutateAttrs(TestPool(), [](AttrTuple& t) {
+    t.AddCommunity(100);
+    t.AddCommunity(200);
+    t.AddCommunity(500);
+  });
+  PolicyResult result = ApplyRouteMap(&map, r, 65000, TestPool());
   ASSERT_TRUE(result.accepted);
-  EXPECT_EQ(result.route.med, 77u);
-  EXPECT_EQ(result.route.communities, (std::vector<uint32_t>{200}));
+  EXPECT_EQ(result.route.med(), 77u);
+  EXPECT_EQ(result.route.communities(), (std::vector<uint32_t>{200}));
 }
 
 TEST(ApplyRouteMapTest, DeleteOfAbsentCommunityIsANoop) {
@@ -139,9 +150,9 @@ TEST(ApplyRouteMapTest, DeleteOfAbsentCommunityIsANoop) {
   clause.permit = true;
   clause.delete_communities = {42};
   auto map = MapOf({clause});
-  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 65000);
+  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 65000, TestPool());
   ASSERT_TRUE(result.accepted);
-  EXPECT_TRUE(result.route.communities.empty());
+  EXPECT_TRUE(result.route.communities().empty());
 }
 
 TEST(ApplyRouteMapTest, AsPathPrependLengthensThePath) {
@@ -149,9 +160,9 @@ TEST(ApplyRouteMapTest, AsPathPrependLengthensThePath) {
   clause.permit = true;
   clause.as_path_prepend = 3;
   auto map = MapOf({clause});
-  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 64999);
+  PolicyResult result = ApplyRouteMap(&map, TestRoute(), 64999, TestPool());
   ASSERT_TRUE(result.accepted);
-  EXPECT_EQ(result.route.as_path,
+  EXPECT_EQ(result.route.as_path(),
             (std::vector<uint32_t>{64999, 64999, 64999, 65001}));
   EXPECT_FALSE(result.as_path_overwritten);  // prepend is not overwrite
 }

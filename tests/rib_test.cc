@@ -3,18 +3,26 @@
 // store used by prefix sharding.
 #include <gtest/gtest.h>
 
+#include "cp/attr.h"
 #include "cp/rib.h"
 
 namespace s2::cp {
 namespace {
+
+AttrPool& TestPool() {
+  static AttrPool* pool = new AttrPool();
+  return *pool;
+}
 
 Route MakeRoute(const std::string& prefix, uint32_t local_pref,
                 size_t path_len, topo::NodeId from) {
   Route r;
   r.prefix = util::MustParsePrefix(prefix);
   r.protocol = Protocol::kBgp;
-  r.local_pref = local_pref;
-  r.as_path.assign(path_len, 65000);
+  AttrTuple tuple;
+  tuple.local_pref = local_pref;
+  tuple.as_path.assign(path_len, 65000);
+  r.attrs = TestPool().Intern(std::move(tuple));
   r.learned_from = from;
   r.origin_node = from;
   return r;
@@ -144,9 +152,9 @@ TEST(RibStoreTest, WriteReadRoundTrip) {
   store.Write(0, 7, best);
   EXPECT_GT(store.bytes_written(), 0u);
   EXPECT_EQ(store.routes_written(), 3u);
-  auto merged = store.ReadAll(7);
+  auto merged = store.ReadAll(7, TestPool());
   EXPECT_EQ(merged, best);
-  EXPECT_TRUE(store.ReadAll(8).empty());
+  EXPECT_TRUE(store.ReadAll(8, TestPool()).empty());
 }
 
 TEST(RibStoreTest, MergesAcrossShards) {
@@ -158,7 +166,7 @@ TEST(RibStoreTest, MergesAcrossShards) {
       MakeRoute("10.0.1.0/24", 100, 2, 2)};
   store.Write(0, 3, shard0);
   store.Write(1, 3, shard1);
-  auto merged = store.ReadAll(3);
+  auto merged = store.ReadAll(3, TestPool());
   EXPECT_EQ(merged.size(), 2u);
 }
 

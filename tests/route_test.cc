@@ -1,20 +1,27 @@
 // Route value-type tests: the BGP decision process ordering, ECMP
-// equivalence, communities, and wire serialization.
+// equivalence, communities, and wire serialization — all through the
+// interned-attribute handles.
 #include <gtest/gtest.h>
 
+#include "cp/attr.h"
 #include "cp/route.h"
 
 namespace s2::cp {
 namespace {
 
+// Leaked so routes held in static test state can never outlive it.
+AttrPool& TestPool() {
+  static AttrPool* pool = new AttrPool();
+  return *pool;
+}
+
 Route BaseRoute() {
   Route r;
   r.prefix = util::MustParsePrefix("10.1.2.0/24");
   r.protocol = Protocol::kBgp;
-  r.local_pref = 100;
-  r.as_path = {65001, 65002};
-  r.origin = 0;
-  r.med = 0;
+  AttrTuple tuple;
+  tuple.as_path = {65001, 65002};
+  r.attrs = TestPool().Intern(std::move(tuple));
   r.origin_node = 7;
   r.learned_from = 3;
   return r;
@@ -36,11 +43,13 @@ TEST(RouteTest, PrivateAsnRange) {
 
 TEST(RouteTest, CommunitiesStaySortedUnique) {
   Route r = BaseRoute();
-  r.AddCommunity(300);
-  r.AddCommunity(100);
-  r.AddCommunity(200);
-  r.AddCommunity(100);  // duplicate
-  EXPECT_EQ(r.communities, (std::vector<uint32_t>{100, 200, 300}));
+  r.MutateAttrs(TestPool(), [](AttrTuple& t) {
+    t.AddCommunity(300);
+    t.AddCommunity(100);
+    t.AddCommunity(200);
+    t.AddCommunity(100);  // duplicate
+  });
+  EXPECT_EQ(r.communities(), (std::vector<uint32_t>{100, 200, 300}));
   EXPECT_TRUE(r.HasCommunity(200));
   EXPECT_FALSE(r.HasCommunity(150));
 }
@@ -51,30 +60,30 @@ TEST(BetterRouteTest, DecisionProcessOrder) {
   // Lower admin distance wins regardless of anything else.
   Route local = base;
   local.protocol = Protocol::kLocal;
-  local.local_pref = 1;
+  local.MutateAttrs(TestPool(), [](AttrTuple& t) { t.local_pref = 1; });
   EXPECT_TRUE(BetterRoute(local, base));
 
   // Higher local-pref wins.
   Route preferred = base;
-  preferred.local_pref = 200;
+  preferred.MutateAttrs(TestPool(), [](AttrTuple& t) { t.local_pref = 200; });
   EXPECT_TRUE(BetterRoute(preferred, base));
   EXPECT_FALSE(BetterRoute(base, preferred));
 
   // Shorter AS path wins.
   Route shorter = base;
-  shorter.as_path = {65001};
+  shorter.MutateAttrs(TestPool(), [](AttrTuple& t) { t.as_path = {65001}; });
   EXPECT_TRUE(BetterRoute(shorter, base));
 
   // Lower origin wins.
   Route igp = base;
   Route incomplete = base;
-  incomplete.origin = 2;
+  incomplete.MutateAttrs(TestPool(), [](AttrTuple& t) { t.origin = 2; });
   EXPECT_TRUE(BetterRoute(igp, incomplete));
 
   // Lower MED wins.
   Route low_med = base;
   Route high_med = base;
-  high_med.med = 50;
+  high_med.MutateAttrs(TestPool(), [](AttrTuple& t) { t.med = 50; });
   EXPECT_TRUE(BetterRoute(low_med, high_med));
 
   // Tie-break: lower learned_from.
@@ -87,8 +96,23 @@ TEST(BetterRouteTest, StrictWeakOrdering) {
   Route a = BaseRoute();
   EXPECT_FALSE(BetterRoute(a, a));  // irreflexive
   Route b = BaseRoute();
-  b.local_pref = 200;
+  b.MutateAttrs(TestPool(), [](AttrTuple& t) { t.local_pref = 200; });
   EXPECT_NE(BetterRoute(a, b), BetterRoute(b, a));  // asymmetric
+}
+
+TEST(BetterRouteTest, SameEntrySkipMatchesValueComparison) {
+  // Two routes holding distinct handles with equal attribute values must
+  // order exactly like two routes sharing one handle.
+  AttrPool other;
+  Route a = BaseRoute();
+  Route b = a;
+  AttrTuple copy = a.attrs.get();
+  b.attrs = other.Intern(std::move(copy));
+  EXPECT_FALSE(a.attrs.SameEntry(b.attrs));
+  EXPECT_EQ(a.attrs, b.attrs);  // deep equality
+  EXPECT_FALSE(BetterRoute(a, b));
+  EXPECT_FALSE(BetterRoute(b, a));
+  EXPECT_TRUE(EcmpEquivalent(a, b));
 }
 
 TEST(BetterRouteTest, OspfComparesMetric) {
@@ -102,29 +126,34 @@ TEST(BetterRouteTest, OspfComparesMetric) {
 TEST(EcmpEquivalentTest, MultipathAttributes) {
   Route a = BaseRoute(), b = BaseRoute();
   b.learned_from = 9;  // different neighbor is fine
-  b.as_path = {65009, 65010};  // different content, same length
+  b.MutateAttrs(TestPool(), [](AttrTuple& t) {
+    t.as_path = {65009, 65010};  // different content, same length
+  });
   EXPECT_TRUE(EcmpEquivalent(a, b));
-  b.as_path = {65009};
+  b.MutateAttrs(TestPool(), [](AttrTuple& t) { t.as_path = {65009}; });
   EXPECT_FALSE(EcmpEquivalent(a, b));  // different length
   b = BaseRoute();
-  b.local_pref = 200;
+  b.MutateAttrs(TestPool(), [](AttrTuple& t) { t.local_pref = 200; });
   EXPECT_FALSE(EcmpEquivalent(a, b));
   b = BaseRoute();
-  b.med = 1;
+  b.MutateAttrs(TestPool(), [](AttrTuple& t) { t.med = 1; });
   EXPECT_FALSE(EcmpEquivalent(a, b));
 }
 
 TEST(RouteSerializationTest, RoundTripsAnnouncesAndWithdrawals) {
   Route r = BaseRoute();
-  r.AddCommunity(999);
-  r.med = 42;
+  r.MutateAttrs(TestPool(), [](AttrTuple& t) {
+    t.AddCommunity(999);
+    t.med = 42;
+  });
   std::vector<RouteUpdate> updates;
   updates.push_back(RouteUpdate{r.prefix, false, r});
   updates.push_back(RouteUpdate{util::MustParsePrefix("0.0.0.0/0"), true,
                                 Route{}});
   std::vector<uint8_t> bytes;
   SerializeRoutes(updates, bytes);
-  auto decoded = DeserializeRoutes(bytes);
+  AttrPool receiver;
+  auto decoded = DeserializeRoutes(bytes, receiver);
   ASSERT_EQ(decoded.size(), 2u);
   EXPECT_FALSE(decoded[0].withdraw);
   EXPECT_EQ(decoded[0].route, r);
@@ -135,15 +164,38 @@ TEST(RouteSerializationTest, RoundTripsAnnouncesAndWithdrawals) {
 TEST(RouteSerializationTest, EmptyBatch) {
   std::vector<uint8_t> bytes;
   SerializeRoutes({}, bytes);
-  EXPECT_TRUE(DeserializeRoutes(bytes).empty());
+  AttrPool receiver;
+  EXPECT_TRUE(DeserializeRoutes(bytes, receiver).empty());
+}
+
+TEST(RouteSerializationTest, SharedTuplesWrittenOnce) {
+  // 16 updates sharing one attribute tuple: the batch carries the tuple
+  // once in the table and 4-byte references in the body.
+  Route r = BaseRoute();
+  std::vector<RouteUpdate> updates(16, RouteUpdate{r.prefix, false, r});
+  std::vector<uint8_t> bytes;
+  SerializeRoutes(updates, bytes, &TestPool());
+  AttrPool receiver;
+  auto decoded = DeserializeRoutes(bytes, receiver);
+  ASSERT_EQ(decoded.size(), 16u);
+  for (const auto& update : decoded) EXPECT_EQ(update.route, r);
+  // All 16 decoded routes share one entry in the receiving pool.
+  for (const auto& update : decoded) {
+    EXPECT_TRUE(update.route.attrs.SameEntry(decoded[0].route.attrs));
+  }
+  EXPECT_EQ(receiver.live_entries(), 1u);
 }
 
 TEST(RouteTest, EstimateBytesGrowsWithAttributes) {
   Route small = BaseRoute();
-  small.as_path.clear();
-  small.communities.clear();
+  small.MutateAttrs(TestPool(), [](AttrTuple& t) {
+    t.as_path.clear();
+    t.communities.clear();
+  });
   Route big = BaseRoute();
-  for (uint32_t i = 0; i < 10; ++i) big.AddCommunity(i);
+  big.MutateAttrs(TestPool(), [](AttrTuple& t) {
+    for (uint32_t i = 0; i < 10; ++i) t.AddCommunity(i);
+  });
   EXPECT_GT(big.EstimateBytes(), small.EstimateBytes());
 }
 

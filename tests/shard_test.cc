@@ -177,7 +177,8 @@ TEST(RepairShardPlanTest, RepairedPlanComputesCorrectRibs) {
   MonoEngine sharded(parsed, nullptr);
   sharded.Run(&plan, &store);
   for (topo::NodeId id = 0; id < parsed.configs.size(); ++id) {
-    ASSERT_EQ(store.ReadAll(id), direct.node(id).bgp_routes());
+    ASSERT_EQ(store.ReadAll(id, sharded.attr_pool()),
+              direct.node(id).bgp_routes());
   }
 }
 
@@ -292,7 +293,8 @@ TEST_P(ShardEquivalenceTest, DcnShardedMatchesUnsharded) {
   sharded.Run(&plan, &store);
 
   for (topo::NodeId id = 0; id < parsed.configs.size(); ++id) {
-    ASSERT_EQ(store.ReadAll(id), direct.node(id).bgp_routes())
+    ASSERT_EQ(store.ReadAll(id, sharded.attr_pool()),
+              direct.node(id).bgp_routes())
         << parsed.configs[id].hostname << " with " << GetParam()
         << " shards";
   }

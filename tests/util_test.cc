@@ -202,7 +202,10 @@ TEST(MemoryTrackerTest, DoomedChargeCannotCauseSpuriousOomElsewhere) {
       }
     }
   });
-  for (int i = 0; i < 100000; ++i) {
+  // Keep the contention loop alive until the big thread has observed at
+  // least one doomed charge — on a single core the fixed iteration count
+  // alone can finish before the other thread is ever scheduled.
+  for (int i = 0; i < 100000 || dooms.load() == 0; ++i) {
     tracker.Charge(100);  // 500 + 100 <= 1000: must always fit
     tracker.Release(100);
   }
