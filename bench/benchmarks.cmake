@@ -16,6 +16,9 @@ s2_bench(fig7_partition)
 s2_bench(fig8_sharding)
 s2_bench(fig9_shard_count)
 s2_bench(fig10_dpv)
+# Not a paper figure: the verification-as-a-service serving-mode gate
+# (snapshot + query service; also reachable via fig10_dpv --serve_queries).
+s2_bench(query_service)
 
 add_executable(micro_bench ${CMAKE_SOURCE_DIR}/bench/micro_bench.cc)
 target_link_libraries(micro_bench PRIVATE s2_core benchmark::benchmark

@@ -7,6 +7,7 @@
 // FatTree size; even single-pair checking benefits because the packet
 // fans out across all workers (Fig 11 discussion).
 #include "bench_util.h"
+#include "query_service_bench.h"
 
 using namespace s2;
 using namespace s2::bench;
@@ -182,7 +183,27 @@ int RunMultiQueryMode() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_obs = ParseObsFlags(argc, argv);
+  // --serve_queries=N: skip the figure sweep and run the serving-mode
+  // benchmark instead (query_service_bench.h) — publish one snapshot of
+  // the default DCN and answer N queries through the QueryService.
+  std::optional<size_t> serve_queries;
+  std::vector<char*> rest = {argv[0]};
+  const std::string kServe = "--serve_queries=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.compare(0, kServe.size(), kServe) == 0) {
+      serve_queries = static_cast<size_t>(
+          std::stoull(arg.substr(kServe.size())));
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  g_obs = ParseObsFlags(static_cast<int>(rest.size()), rest.data());
+  if (serve_queries) {
+    int rc = RunQueryServiceMode(*serve_queries);
+    FinishObs(g_obs);
+    return rc;
+  }
   std::printf("=== Figure 10: DPV — all-pair and single-pair "
               "reachability ===\n\n");
   for (int k : {6, 8, 10}) {

@@ -1,0 +1,28 @@
+// Standalone verification-as-a-service benchmark + CI gate: converge the
+// default DCN once, publish a snapshot, serve 1000 queries. See
+// query_service_bench.h for what is measured and gated (warm >= 3x cold,
+// verdict fidelity vs batch, svc.* counters in the run report).
+//
+// Flags: --serves=N (default 1000) plus the shared --trace_out/--report_out.
+#include "query_service_bench.h"
+
+using namespace s2;
+using namespace s2::bench;
+
+int main(int argc, char** argv) {
+  size_t serves = 1000;
+  std::vector<char*> rest = {argv[0]};
+  const std::string kServes = "--serves=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.compare(0, kServes.size(), kServes) == 0) {
+      serves = static_cast<size_t>(std::stoull(arg.substr(kServes.size())));
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  ObsOptions obs = ParseObsFlags(static_cast<int>(rest.size()), rest.data());
+  int rc = RunQueryServiceMode(serves);
+  FinishObs(obs);
+  return rc;
+}

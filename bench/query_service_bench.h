@@ -1,0 +1,206 @@
+// Serving-mode benchmark shared by bench/query_service (standalone) and
+// fig10_dpv --serve_queries=N: converge the default DCN once, publish a
+// snapshot, then serve N queries drawn from a fixed pool through the
+// QueryService — no reconvergence, no per-query domain rebuilds.
+//
+// What it measures and gates (EXPERIMENTS.md "query-service"):
+//   - cold latency: first serve of each distinct query (predicate-cache
+//     miss — scoping + symbolic forwarding on the persistent domains);
+//   - warm latency: every later serve (cache hit — header hash + finals
+//     decode + verdict only). CI gate: warm must be >= 3x faster;
+//   - verdict fidelity: each distinct query's served result is compared
+//     against Controller::RunQuery on the same converged state;
+//   - svc.* counters must appear in the combined RunReport registry.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "svc/query_service.h"
+#include "topo/dcn.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace s2::bench {
+
+inline int RunQueryServiceMode(size_t serve_count) {
+  constexpr uint32_t kSvcWorkers = 4;
+  constexpr int kSvcShards = 8;
+  topo::Network network = topo::MakeDcn(topo::DcnParams{});
+  config::ParsedNetwork parsed =
+      config::ParseNetwork(config::SynthesizeConfigs(network));
+
+  // Query pool: one single-source reachability query per TOR, dst space
+  // 10.0.0.0/8, destination a TOR in another part of the fabric. Distinct
+  // sources mean distinct predicate-cache keys.
+  std::vector<topo::NodeId> tors;
+  for (topo::NodeId id = 0; id < parsed.graph.size(); ++id) {
+    if (parsed.graph.node(id).role == topo::Role::kEdge) tors.push_back(id);
+  }
+  std::vector<dp::Query> pool;
+  for (size_t i = 0; i < tors.size(); ++i) {
+    dp::Query query;
+    query.sources = {tors[i]};
+    query.destinations = {tors[(i + tors.size() / 2) % tors.size()]};
+    query.header_space.dst = util::MustParsePrefix("10.0.0.0/8");
+    pool.push_back(std::move(query));
+  }
+
+  dist::ControllerOptions options = S2Options(kSvcWorkers, kSvcShards);
+  options.worker_memory_budget = 0;
+  core::S2Verifier verifier(options);
+  util::Stopwatch converge_watch;
+  core::VerifyResult converged = verifier.Verify(parsed, {});
+  double converge_seconds = converge_watch.ElapsedSeconds();
+  if (!converged.ok()) {
+    std::printf("FAIL: convergence: %s\n", converged.failure_detail.c_str());
+    return 1;
+  }
+  std::optional<svc::Snapshot> snapshot = verifier.ExportSnapshot();
+  if (!snapshot) {
+    std::printf("FAIL: no exportable snapshot\n");
+    return 1;
+  }
+
+  svc::SnapshotRegistry registry;
+  registry.Publish(*snapshot);
+  svc::QueryService service(&registry, svc::QueryService::Options{});
+
+  // Serve `serve_count` queries drawn (seeded) from the pool; every serve
+  // is timed individually so cold misses and warm hits split cleanly.
+  util::Rng rng(0x53325256);  // "S2RV"
+  double cold_seconds = 0, warm_seconds = 0;
+  size_t cold_count = 0, warm_count = 0;
+  util::Stopwatch total_watch;
+  for (size_t i = 0; i < serve_count; ++i) {
+    const dp::Query& query = pool[rng.Below(pool.size())];
+    util::Stopwatch watch;
+    svc::QueryService::Served served = service.Serve(query);
+    double seconds = watch.ElapsedSeconds();
+    if (served.epoch == 0) {
+      std::printf("FAIL: serve %zu missed the snapshot\n", i);
+      return 1;
+    }
+    if (served.cache_hit) {
+      warm_seconds += seconds;
+      ++warm_count;
+    } else {
+      cold_seconds += seconds;
+      ++cold_count;
+    }
+  }
+  double total_seconds = total_watch.ElapsedSeconds();
+
+  // Fidelity: every distinct pool query served once more, compared against
+  // batch execution on the same converged controller.
+  bool verdicts_match = true;
+  for (size_t q = 0; q < pool.size(); ++q) {
+    dp::QueryResult batch =
+        verifier.last_controller()->RunQuery(pool[q]).result;
+    dp::QueryResult servedr = service.Serve(pool[q]).result;
+    if (servedr.reachable_pairs != batch.reachable_pairs ||
+        servedr.unreachable_pairs != batch.unreachable_pairs ||
+        servedr.loop_free != batch.loop_free ||
+        servedr.blackhole_free != batch.blackhole_free ||
+        servedr.loop_finals != batch.loop_finals ||
+        servedr.blackhole_finals != batch.blackhole_finals) {
+      verdicts_match = false;
+      std::printf("VERDICT MISMATCH pool query %zu\n", q);
+    }
+  }
+
+  svc::QueryService::Stats stats = service.stats();
+  bdd::Manager::CacheStats op = service.OpCacheStats();
+  double cold_mean = cold_count > 0 ? cold_seconds / cold_count : 0;
+  double warm_mean = warm_count > 0 ? warm_seconds / warm_count : 0;
+  double warm_speedup = warm_mean > 0 ? cold_mean / warm_mean : 0;
+  double qps = total_seconds > 0 ? double(serve_count) / total_seconds : 0;
+  double op_hit_rate = (op.hits + op.misses) > 0
+                           ? double(op.hits) / double(op.hits + op.misses)
+                           : 0;
+
+  // The combined serving-mode RunReport: verifier phases + svc counters.
+  obs::Registry report;
+  report.SetLabel("schema", "s2.run_report.v1");
+  core::PublishVerifyResult(converged, report);
+  verifier.last_controller()->PublishMetrics(report);
+  service.PublishMetrics(report);
+  registry.PublishMetrics(report);
+  bool report_ok = report.Has("svc.queries") && report.Has("svc.cache.hits") &&
+                   report.Has("svc.cache.misses") &&
+                   report.Has("svc.opcache.hits") &&
+                   report.Has("svc.snapshots.current_epoch");
+
+  std::printf("=== query service: %zu serves from a %zu-query pool, "
+              "default DCN (%zu switches), %u workers ===\n",
+              serve_count, pool.size(), parsed.graph.size(), kSvcWorkers);
+  std::printf("%-34s %s\n", "convergence (once, amortized):",
+              core::HumanSeconds(converge_seconds).c_str());
+  std::printf("%-34s %zu cold / %zu warm\n", "serves:", cold_count,
+              warm_count);
+  std::printf("%-34s %.3f ms\n", "cold mean latency:", cold_mean * 1e3);
+  std::printf("%-34s %.3f ms\n", "warm mean latency:", warm_mean * 1e3);
+  std::printf("%-34s %.2fx\n", "warm speedup:", warm_speedup);
+  std::printf("%-34s %.0f\n", "queries/sec (overall):", qps);
+  std::printf("%-34s hits=%zu misses=%zu evictions=%zu\n",
+              "predicate cache:", stats.cache_hits, stats.cache_misses,
+              stats.cache_evictions);
+  std::printf("%-34s hits=%zu misses=%zu (%.1f%% hit rate)\n",
+              "bdd op-cache:", op.hits, op.misses, op_hit_rate * 100);
+  std::printf("%-34s built=%zu rebinds=%zu fallbacks=%zu\n",
+              "domains:", stats.domains_built, stats.epoch_rebuilds,
+              stats.scope_fallbacks);
+  std::printf("%-34s %s\n", "verdicts vs batch:",
+              verdicts_match ? "identical" : "MISMATCH");
+  std::printf("%-34s %s\n", "svc.* in run report:",
+              report_ok ? "present" : "MISSING");
+
+  std::FILE* json = std::fopen("BENCH_query_service.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"benchmark\": \"query_service\",\n"
+        "  \"topology\": \"dcn-default\",\n"
+        "  \"workers\": %u,\n"
+        "  \"shards\": %d,\n"
+        "  \"pool_queries\": %zu,\n"
+        "  \"serves\": %zu,\n"
+        "  \"cold_serves\": %zu,\n"
+        "  \"warm_serves\": %zu,\n"
+        "  \"cold_mean_seconds\": %.9f,\n"
+        "  \"warm_mean_seconds\": %.9f,\n"
+        "  \"warm_speedup\": %.3f,\n"
+        "  \"queries_per_second\": %.1f,\n"
+        "  \"predicate_cache_hits\": %zu,\n"
+        "  \"predicate_cache_misses\": %zu,\n"
+        "  \"opcache_hits\": %zu,\n"
+        "  \"opcache_misses\": %zu,\n"
+        "  \"opcache_hit_rate\": %.4f,\n"
+        "  \"verdicts_match_batch\": %s\n"
+        "}\n",
+        kSvcWorkers, kSvcShards, pool.size(), serve_count, cold_count,
+        warm_count, cold_mean, warm_mean, warm_speedup, qps, stats.cache_hits,
+        stats.cache_misses, op.hits, op.misses, op_hit_rate,
+        verdicts_match ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_query_service.json\n");
+  }
+  std::printf("\n");
+
+  if (!verdicts_match) return 1;
+  if (!report_ok) {
+    std::printf("FAIL: svc.* counters missing from the run report\n");
+    return 1;
+  }
+  if (serve_count >= 1000 && warm_speedup < 3.0) {
+    std::printf("FAIL: warm speedup %.2fx < 3x\n", warm_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace s2::bench

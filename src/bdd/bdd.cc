@@ -1,6 +1,7 @@
 #include "bdd/bdd.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdlib>
 
 #include "obs/trace.h"
@@ -206,7 +207,14 @@ size_t Manager::live_nodes() const {
   return allocated_nodes() - dead_count_ - 2;  // exclude the terminals
 }
 
+void Manager::PinRoot(const Bdd& root) {
+  if (!root.valid() || root.manager() != this) return;
+  if (root.node_ <= kOne) return;  // terminals are never swept
+  pinned_.insert(root.node_);
+}
+
 void Manager::MaybeGc() {
+  if (gc_hold_ > 0) return;
   size_t allocated = allocated_nodes();
   if (allocated <= 4096) return;
   // Two triggers: many dead roots, or the table outgrew its watermark.
@@ -243,6 +251,11 @@ void Manager::GarbageCollect() {
     uint32_t id = worklist.back();
     worklist.pop_back();
     if (nodes_[id].var == kFreeVar || refcounts_[id] != 0) continue;
+    // A pinned node is part of a published snapshot surface; its owner
+    // holds a reference for the snapshot's lifetime, so reaching it with
+    // refcount 0 means a handle was dropped behind the snapshot's back.
+    assert(pinned_.find(id) == pinned_.end() &&
+           "BDD GC reclaimed a pinned snapshot root");
     Node& n = nodes_[id];
     unique_.erase(UniqueKey{n.var, n.low, n.high});
     uint32_t low = n.low, high = n.high;

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "util/memory_tracker.h"
@@ -162,6 +163,28 @@ class Manager {
   // variables on the chosen path (others are free). f must not be Zero.
   std::vector<std::pair<uint32_t, bool>> AnySat(const Bdd& f);
 
+  // ------------------------------------------------- snapshot pinning / GC
+  // Marks a root as part of a published snapshot surface (svc/ serving
+  // domains, worker data planes). Pinning takes no reference — the
+  // caller's handles keep the root alive — but every GC sweep asserts (in
+  // builds with assertions) that no pinned node is ever freed, turning a
+  // refcount bug on an immutable-after-converge surface into an immediate
+  // failure instead of silent verdict corruption.
+  void PinRoot(const Bdd& root);
+  size_t pinned_roots() const { return pinned_.size(); }
+
+  // GC hold: while held, threshold-driven collection (MaybeGc) is
+  // suppressed, so dead intermediates — and the op/ITE cache entries
+  // referencing them — survive between queries on a long-lived serving
+  // domain and repeated queries replay as cache hits. Explicit
+  // GarbageCollect() still works (serving domains collect on a query-count
+  // cadence instead). Nestable; Resume with no matching Pause is a no-op.
+  void PauseGc() { ++gc_hold_; }
+  void ResumeGc() {
+    if (gc_hold_ > 0) --gc_hold_;
+  }
+  bool gc_paused() const { return gc_hold_ > 0; }
+
   // Diagnostics / accounting.
   size_t allocated_nodes() const { return nodes_.size() - free_count_; }
   // Internal (non-terminal) nodes still referenced.
@@ -284,6 +307,8 @@ class Manager {
   OpCache ite_cache_;
   CacheStats cache_stats_;
   uint32_t generation_ = 1;
+  std::unordered_set<uint32_t> pinned_;
+  uint32_t gc_hold_ = 0;
 };
 
 }  // namespace s2::bdd

@@ -91,6 +91,15 @@ VerifyResult S2Verifier::Verify(config::ParsedNetwork network,
   return result;
 }
 
+std::optional<svc::Snapshot> S2Verifier::ExportSnapshot() const {
+  if (!controller_) return std::nullopt;
+  for (size_t w = 0; w < controller_->num_workers(); ++w) {
+    if (!controller_->worker(w).has_data_plane()) return std::nullopt;
+  }
+  if (controller_->num_workers() == 0) return std::nullopt;
+  return svc::CaptureSnapshot(*controller_);
+}
+
 std::string S2Verifier::RunReportJson(const VerifyResult& result) const {
   obs::Registry registry;
   registry.SetLabel("schema", "s2.run_report.v1");

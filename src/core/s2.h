@@ -15,8 +15,11 @@
 // capacity) and non-convergence become result statuses, never crashes.
 #pragma once
 
+#include <optional>
+
 #include "core/results.h"
 #include "dist/controller.h"
+#include "svc/snapshot.h"
 
 namespace s2::core {
 
@@ -41,6 +44,13 @@ class S2Verifier {
   // The controller of the last Verify call (valid until the next call);
   // exposes partition/shard-plan details for diagnostics and benchmarks.
   dist::Controller* last_controller() { return controller_.get(); }
+
+  // Captures the last Verify's converged state as an immutable servable
+  // snapshot (svc/snapshot.h) for the query service: publish it to a
+  // SnapshotRegistry and serve queries without re-running the pipeline.
+  // nullopt if no run converged with a data plane (failed run, or the
+  // control-plane-only mode).
+  std::optional<svc::Snapshot> ExportSnapshot() const;
 
   // One RunReport JSON object combining `result`'s phase metrics with the
   // last controller's live counters (per-worker fabric traffic, per-shard

@@ -76,7 +76,7 @@ void Controller::Setup() {
     // repair defensively so externally cached/edited plans can't split
     // dependent prefixes.
     cp::RepairShardPlan(network_, *plan_);
-    store_ = std::make_unique<cp::RibStore>();
+    store_ = std::make_shared<cp::RibStore>();
   }
 
   gather_manager_ =

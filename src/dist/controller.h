@@ -99,8 +99,14 @@ class Controller {
     return cpo_->shard_metrics();
   }
   const config::ParsedNetwork& network() const { return network_; }
+  const ControllerOptions& options() const { return options_; }
   Worker& worker(size_t index) { return *workers_[index]; }
+  const Worker& worker(size_t index) const { return *workers_[index]; }
   size_t num_workers() const { return workers_.size(); }
+  // The converged RIB spill store (null when sharding is off). Shared so a
+  // published svc::Snapshot can keep the spills alive past this
+  // controller's lifetime; the store is read-only after convergence.
+  std::shared_ptr<const cp::RibStore> rib_store() const { return store_; }
 
   // ------------------------------------------------ fault tolerance
   // Rebuilds worker `w` from its latest checkpoint and replays the rounds
@@ -129,7 +135,7 @@ class Controller {
 
   topo::PartitionResult partition_;
   std::optional<cp::ShardPlan> plan_;
-  std::unique_ptr<cp::RibStore> store_;
+  std::shared_ptr<cp::RibStore> store_;
   std::unique_ptr<SidecarFabric> fabric_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<util::ThreadPool> pool_;

@@ -149,6 +149,7 @@ void Worker::BuildDataPlane(const cp::RibStore* store) {
     dp::Fib fib = dp::Fib::Build(*network_, id, *bgp, node.ospf_routes(),
                                  &tracker_);
     fib_bytes_ += fib.EstimateBytes();
+    fib_edges_[id] = fib.ForwardEdges();
     // Predicates are built in the owning lane's manager.
     const dp::PacketCodec& codec = dp_->BeginNode(id);
     dp_->AddNode(id, dp::BuildPredicates(*network_, id, fib, codec));
@@ -246,6 +247,7 @@ std::map<topo::NodeId, std::vector<uint8_t>> Worker::SnapshotPredicates()
 
 void Worker::ResetDataPlane() {
   dp_.reset();
+  fib_edges_.clear();
   if (fib_bytes_ > 0) {
     tracker_.Release(fib_bytes_);
     fib_bytes_ = 0;
@@ -296,6 +298,9 @@ void Worker::ReplayDelivered(int from_round, int to_round,
 void Worker::RestoreDataPlane(const fault::WorkerCheckpoint& checkpoint) {
   util::Stopwatch watch;
   dp_ = std::make_unique<dp::ParallelForwarding>(DataPlaneOptions());
+  // Checkpoints carry predicate bytes, not FIBs, so the forward-edge index
+  // is lost on recovery (see fib_edges() in the header).
+  fib_edges_.clear();
   // local_ is rebuilt in the same order by the constructor, so BeginNode
   // reproduces the pre-crash lane assignment exactly.
   for (topo::NodeId id : local_) {

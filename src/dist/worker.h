@@ -116,6 +116,19 @@ class Worker {
   // also what Dpo::RunQueries rebuilds per-query domains from).
   std::map<topo::NodeId, std::vector<uint8_t>> SnapshotPredicates() const;
 
+  bool has_data_plane() const { return dp_ != nullptr; }
+
+  // Per local node, the (prefix, next hop) forward edges of its FIB —
+  // retained by BuildDataPlane for snapshot capture (svc/snapshot.h) and
+  // admission scoping. Empty after RestoreDataPlane (a checkpoint carries
+  // predicates, not FIBs); the query service's lazy-scope fallback keeps
+  // scoping sound on a recovered worker.
+  const std::map<topo::NodeId,
+                 std::vector<std::pair<util::Ipv4Prefix, topo::NodeId>>>&
+  fib_edges() const {
+    return fib_edges_;
+  }
+
   // Frees data-plane state (between experiments).
   void ResetDataPlane();
 
@@ -182,6 +195,9 @@ class Worker {
 
   std::unique_ptr<dp::ParallelForwarding> dp_;
   size_t fib_bytes_ = 0;
+  std::map<topo::NodeId,
+           std::vector<std::pair<util::Ipv4Prefix, topo::NodeId>>>
+      fib_edges_;
 
   double last_phase_seconds_ = 0;
   double predicate_seconds_ = 0;

@@ -28,6 +28,18 @@ size_t Fib::EstimateBytes() const {
   return bytes;
 }
 
+std::vector<std::pair<util::Ipv4Prefix, topo::NodeId>> Fib::ForwardEdges()
+    const {
+  std::vector<std::pair<util::Ipv4Prefix, topo::NodeId>> edges;
+  for (const FibEntry& entry : entries) {
+    if (entry.action != FibAction::kForward) continue;
+    for (topo::NodeId next : entry.next_hops) {
+      edges.emplace_back(entry.prefix, next);
+    }
+  }
+  return edges;
+}
+
 Fib Fib::Build(
     const config::ParsedNetwork& network, topo::NodeId self,
     const std::map<util::Ipv4Prefix, std::vector<cp::Route>>& bgp,

@@ -48,6 +48,15 @@ struct Fib {
       util::MemoryTracker* tracker);
 
   size_t EstimateBytes() const;
+
+  // (prefix, next hop) of every kForward entry, one pair per ECMP next
+  // hop. This is the admission-scoping index (svc/query_service.h): a
+  // packet can only leave this node toward a next hop whose entry prefix
+  // intersects the packet's destination space, so a reachability pre-pass
+  // over these edges soundly over-approximates the workers a query can
+  // touch.
+  std::vector<std::pair<util::Ipv4Prefix, topo::NodeId>> ForwardEdges()
+      const;
 };
 
 }  // namespace s2::dp

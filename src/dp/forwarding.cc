@@ -20,6 +20,17 @@ const char* FinalStateName(FinalState state) {
 }
 
 void ForwardingEngine::AddNode(topo::NodeId id, NodePredicates preds) {
+  // The registered predicates are the domain's immutable-after-converge
+  // snapshot surface: the engine keeps them alive for its whole lifetime,
+  // and pinning makes any GC that would free one assert instead of
+  // silently corrupting later queries (bdd.h, PinRoot).
+  bdd::Manager* manager = codec_.manager();
+  manager->PinRoot(preds.arrive);
+  manager->PinRoot(preds.exit);
+  manager->PinRoot(preds.discard);
+  for (const auto& [port, pred] : preds.forward) manager->PinRoot(pred);
+  for (const auto& [port, pred] : preds.acl_in) manager->PinRoot(pred);
+  for (const auto& [port, pred] : preds.acl_out) manager->PinRoot(pred);
   nodes_.emplace(id, std::move(preds));
 }
 

@@ -17,6 +17,7 @@
 #include "core/s2.h"
 #include "dp/fib.h"
 #include "fault/checkpoint.h"
+#include "svc/query_service.h"
 #include "test_networks.h"
 #include "topo/dcn.h"
 #include "topo/fattree.h"
@@ -219,6 +220,86 @@ TEST(DifferentialOracleTest, ParallelQueryPathMatchesSequential) {
     for (size_t q = 0; q < queries.size(); ++q) {
       ExpectSameVerdict(par.queries[q], seq.queries[q],
                         instance.label + "/q" + std::to_string(q));
+    }
+  }
+}
+
+// The query service must be a perfect stand-in for batch execution: every
+// field of the verdict — reachability pairs with fractions, loop/blackhole
+// finals, waypoints, multipath — byte-identical between a served query
+// (cold and warm, scoped and unscoped) and the same query run through
+// Verify on the same converged state. Sharded RIB spills are on so the
+// snapshot's rib_spills handle is exercised too.
+TEST(DifferentialOracleTest, ServedQueriesMatchBatchExecution) {
+  std::vector<Instance> instances = RandomFatTrees(2, /*seed=*/71);
+  for (Instance& dcn : RandomDcns(1, /*seed=*/79)) {
+    instances.push_back(std::move(dcn));
+  }
+  for (const Instance& instance : instances) {
+    config::ParsedNetwork net = testing::Parse(instance.net);
+    std::vector<dp::Query> queries;
+    queries.push_back(AllPairQuery(net));
+    dp::Query single = queries[0];
+    single.sources = {queries[0].sources.front()};
+    single.destinations = {queries[0].destinations.back()};
+    queries.push_back(single);
+
+    ControllerOptions options;
+    options.num_workers = 4;
+    options.num_shards = 8;  // exercise RIB spills behind the snapshot
+    core::S2Verifier verifier(options);
+    core::VerifyResult batch = verifier.Verify(net, queries);
+    ASSERT_TRUE(batch.ok()) << instance.label << ": " << batch.failure_detail;
+    std::optional<svc::Snapshot> snapshot = verifier.ExportSnapshot();
+    ASSERT_TRUE(snapshot.has_value()) << instance.label;
+
+    svc::SnapshotRegistry registry;
+    registry.Publish(*snapshot);
+    for (bool scoped : {true, false}) {
+      svc::QueryService::Options svc_options;
+      svc_options.scope_admission = scoped;
+      svc::QueryService service(&registry, svc_options);
+      for (size_t q = 0; q < queries.size(); ++q) {
+        std::string label = instance.label + (scoped ? "/scoped" : "/full") +
+                            "/q" + std::to_string(q);
+        svc::QueryService::Served cold = service.Serve(queries[q]);
+        EXPECT_FALSE(cold.cache_hit) << label;
+        svc::QueryService::Served warm = service.Serve(queries[q]);
+        EXPECT_TRUE(warm.cache_hit) << label;
+        for (const auto& [mode, served] :
+             {std::pair<const char*, const svc::QueryService::Served&>(
+                  "cold", cold),
+              {"warm", warm}}) {
+          const dp::QueryResult& got = served.result;
+          const dp::QueryResult& want = batch.queries[q];
+          std::string full = label + "/" + mode;
+          ExpectSameVerdict(got, want, full);
+          ASSERT_EQ(got.reachability.size(), want.reachability.size())
+              << full;
+          for (size_t i = 0; i < got.reachability.size(); ++i) {
+            EXPECT_EQ(got.reachability[i].src, want.reachability[i].src)
+                << full;
+            EXPECT_EQ(got.reachability[i].dst, want.reachability[i].dst)
+                << full;
+            EXPECT_EQ(got.reachability[i].reachable,
+                      want.reachability[i].reachable)
+                << full;
+            EXPECT_DOUBLE_EQ(got.reachability[i].fraction,
+                             want.reachability[i].fraction)
+                << full;
+          }
+          ASSERT_EQ(got.waypoints.size(), want.waypoints.size()) << full;
+          for (size_t i = 0; i < got.waypoints.size(); ++i) {
+            EXPECT_EQ(got.waypoints[i].transit, want.waypoints[i].transit)
+                << full;
+            EXPECT_EQ(got.waypoints[i].always_traversed,
+                      want.waypoints[i].always_traversed)
+                << full;
+          }
+          EXPECT_EQ(got.paths_recorded, want.paths_recorded) << full;
+          EXPECT_EQ(got.valleys.size(), want.valleys.size()) << full;
+        }
+      }
     }
   }
 }
